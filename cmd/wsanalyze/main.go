@@ -1,0 +1,105 @@
+// Command wsanalyze regenerates the paper's tables and figures from
+// saved crawl datasets (produced by wscrawl or wsrepro -json).
+//
+// Usage:
+//
+//	wsanalyze [-table 1..5|overview|churn] [-figure 1|3|4] crawl1.json [crawl2.json ...]
+//
+// With no selector the full report is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		table  = flag.String("table", "", "print one table: 1..5, overview, churn")
+		figure = flag.String("figure", "", "print one figure: 1, 3, 4")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "wsanalyze: at least one dataset file required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var ds []*analysis.Dataset
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsanalyze:", err)
+			os.Exit(1)
+		}
+		d, err := analysis.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsanalyze: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		ds = append(ds, d)
+	}
+
+	switch {
+	case *table != "":
+		switch *table {
+		case "1":
+			fmt.Print(analysis.RenderTable1(analysis.Table1(ds...)))
+		case "2":
+			fmt.Print(analysis.RenderTable2(analysis.Table2(15, ds...)))
+		case "3":
+			fmt.Print(analysis.RenderTable3(analysis.Table3(15, ds...)))
+		case "4":
+			fmt.Print(analysis.RenderTable4(analysis.Table4(15, ds...)))
+		case "5":
+			fmt.Print(analysis.RenderTable5(analysis.Table5(ds...)))
+		case "overview":
+			fmt.Print(analysis.RenderOverview(analysis.ComputeOverview(ds...)))
+		case "churn":
+			if len(ds) < 2 {
+				fmt.Fprintln(os.Stderr, "wsanalyze: churn needs at least two datasets")
+				os.Exit(2)
+			}
+			fmt.Print(analysis.RenderChurn(analysis.ComputeChurn(ds[0], ds[len(ds)-1], analysis.UnionAASet(ds...))))
+		default:
+			fmt.Fprintf(os.Stderr, "wsanalyze: unknown table %q\n", *table)
+			os.Exit(2)
+		}
+	case *figure != "":
+		switch *figure {
+		case "1":
+			fmt.Print(analysis.RenderFigure1())
+		case "3":
+			fmt.Print(analysis.RenderFigure3(analysis.Figure3Binned(analysis.DefaultRankEdges, ds...)))
+		case "4":
+			fmt.Print(analysis.RenderFigure4(analysis.Figure4(6, ds...)))
+		default:
+			fmt.Fprintf(os.Stderr, "wsanalyze: unknown figure %q\n", *figure)
+			os.Exit(2)
+		}
+	default:
+		fmt.Print(analysis.RenderTable1(analysis.Table1(ds...)))
+		fmt.Println()
+		fmt.Print(analysis.RenderTable2(analysis.Table2(15, ds...)))
+		fmt.Println()
+		fmt.Print(analysis.RenderTable3(analysis.Table3(15, ds...)))
+		fmt.Println()
+		fmt.Print(analysis.RenderTable4(analysis.Table4(15, ds...)))
+		fmt.Println()
+		fmt.Print(analysis.RenderTable5(analysis.Table5(ds...)))
+		fmt.Println()
+		fmt.Print(analysis.RenderFigure3(analysis.Figure3Binned(analysis.DefaultRankEdges, ds...)))
+		fmt.Println()
+		fmt.Print(analysis.RenderFigure4(analysis.Figure4(6, ds...)))
+		fmt.Println()
+		fmt.Print(analysis.RenderOverview(analysis.ComputeOverview(ds...)))
+		if len(ds) >= 2 {
+			fmt.Println()
+			fmt.Print(analysis.RenderChurn(analysis.ComputeChurn(ds[0], ds[len(ds)-1], analysis.UnionAASet(ds...))))
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command wscrawl runs a single crawl of the synthetic web and writes
+// the measurement dataset as JSON, for later analysis with wsanalyze.
+//
+// Usage:
+//
+//	wscrawl -out crawl1.json [-era pre|post] [-index N] [-publishers N]
+//	        [-workers N] [-pages N] [-seed S] [-version 57]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/webgen"
+)
+
+func main() {
+	var (
+		out        = flag.String("out", "", "output dataset path (required)")
+		eraFlag    = flag.String("era", "pre", "crawl era: pre or post (relative to the Chrome 58 patch)")
+		index      = flag.Int("index", 0, "crawl index (perturbs session randomness)")
+		publishers = flag.Int("publishers", 600, "number of generic publishers")
+		workers    = flag.Int("workers", 8, "parallel crawl workers")
+		pages      = flag.Int("pages", 15, "page budget per site")
+		seed       = flag.Int64("seed", 20170419, "world seed")
+		version    = flag.Int("version", 0, "browser version (default: 57 pre-patch, 58 post-patch)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "wscrawl: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	era := webgen.EraPrePatch
+	if *eraFlag == "post" {
+		era = webgen.EraPostPatch
+	} else if *eraFlag != "pre" {
+		fmt.Fprintf(os.Stderr, "wscrawl: unknown era %q\n", *eraFlag)
+		os.Exit(2)
+	}
+	bv := *version
+	if bv == 0 {
+		bv = 57
+		if era == webgen.EraPostPatch {
+			bv = 58
+		}
+	}
+
+	spec := core.CrawlSpec{
+		Name:           fmt.Sprintf("%s-crawl-%d", era, *index),
+		Era:            era,
+		CrawlIndex:     *index,
+		BrowserVersion: bv,
+	}
+	opts := core.Options{Seed: *seed, NumPublishers: *publishers, Workers: *workers, PagesPerSite: *pages}
+	res, err := core.RunCrawl(context.Background(), opts, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wscrawl:", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wscrawl:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := res.Dataset.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "wscrawl:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wscrawl: %d sites, %d pages, %d sockets, %d A&A domains -> %s\n",
+		len(res.Dataset.Sites), res.Stats.Pages, len(res.Dataset.Sockets), len(res.Dataset.AADomains), *out)
+}

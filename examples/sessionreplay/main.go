@@ -1,0 +1,129 @@
+// sessionreplay reproduces the paper's DOM-exfiltration finding (§4.3):
+// session-replay services (Hotjar, LuckyOrange, TruConversion) serialize
+// the entire document — search queries, unsent form contents and all —
+// and upload it over WebSockets where the WRB kept blockers blind.
+//
+// The example crawls session-replay publishers, detects DOM uploads in
+// the captured socket frames with the content classifier, and decodes
+// one to show exactly what leaves the page.
+//
+//	go run ./examples/sessionreplay
+package main
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"log"
+	"regexp"
+	"strings"
+
+	"repro/internal/browser"
+	"repro/internal/content"
+	"repro/internal/inclusion"
+	"repro/internal/urlutil"
+	"repro/internal/webgen"
+	"repro/internal/webserver"
+)
+
+var domField = regexp.MustCompile(`(^|[&?;])dom=([A-Za-z0-9+/=]+)`)
+
+func main() {
+	world := webgen.NewWorld(webgen.Config{Seed: 1234, NumPublishers: 800, Era: webgen.EraPrePatch})
+	server, err := webserver.Start(world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+
+	b := browser.New(browser.Config{
+		Version: 57, Seed: 3,
+		HTTPClient: server.Client(), ResolveWS: server.Resolver(),
+	})
+
+	fmt.Println("Hunting for session-replay DOM exfiltration over WebSockets...")
+	found := 0
+	for _, p := range world.Publishers {
+		if !hasReplayService(p) {
+			continue
+		}
+		for page := 0; page <= p.NumPages && found < 3; page++ {
+			url := fmt.Sprintf("http://%s/", p.Domain)
+			if page > 0 {
+				url = fmt.Sprintf("http://%s/page/%d", p.Domain, page)
+			}
+			res, err := b.Visit(context.Background(), url)
+			if err != nil {
+				continue
+			}
+			tree, err := inclusion.Build(res.Trace)
+			if err != nil {
+				continue
+			}
+			for _, ws := range tree.Sockets() {
+				for _, frame := range ws.Sent {
+					items := content.DetectSent(frame.Payload)
+					if !has(items, content.SentDOM) {
+						continue
+					}
+					found++
+					report(url, ws, frame.Payload)
+					if found >= 3 {
+						break
+					}
+				}
+			}
+		}
+	}
+	if found == 0 {
+		fmt.Println("no DOM uploads observed; try another seed")
+	}
+}
+
+func hasReplayService(p *webgen.Publisher) bool {
+	for _, c := range p.Services {
+		if c.Category == webgen.CatSessionReplay {
+			return true
+		}
+	}
+	return false
+}
+
+func has(items []string, want string) bool {
+	for _, it := range items {
+		if it == want {
+			return true
+		}
+	}
+	return false
+}
+
+func report(pageURL string, ws *inclusion.Node, payload []byte) {
+	u, _ := urlutil.Parse(ws.URL)
+	fmt.Printf("\n=== DOM exfiltration detected ===\n")
+	fmt.Printf("page:      %s\n", pageURL)
+	fmt.Printf("socket:    %s (receiver 2nd-level domain: %s)\n", ws.URL, u.RegistrableDomain())
+	fmt.Printf("initiator: %s\n", ws.Parent.URL)
+	fmt.Printf("chain:     %s\n", strings.Join(inclusion.ChainDomains(ws), " -> "))
+
+	m := domField.FindSubmatch(payload)
+	if m == nil {
+		return
+	}
+	doc, err := base64.StdEncoding.DecodeString(string(m[2]))
+	if err != nil {
+		return
+	}
+	fmt.Printf("payload:   %d bytes of serialized DOM; excerpt:\n", len(doc))
+	excerpt := string(doc)
+	if len(excerpt) > 400 {
+		excerpt = excerpt[:400] + "..."
+	}
+	for _, line := range strings.Split(excerpt, "\n") {
+		fmt.Printf("    %s\n", line)
+	}
+	if strings.Contains(string(doc), "<form") || strings.Contains(string(doc), "<input") {
+		fmt.Println("note:      the serialized document includes form fields — anything a")
+		fmt.Println("           user typed (searches, unsent messages) would travel with it.")
+	}
+}

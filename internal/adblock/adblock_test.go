@@ -1,0 +1,82 @@
+package adblock
+
+import (
+	"testing"
+
+	"repro/internal/devtools"
+	"repro/internal/filterlist"
+	"repro/internal/webrequest"
+)
+
+func testBlocker(style PatternStyle) *Blocker {
+	lists := filterlist.Parse("easylist", `
+||adnet.example^$third-party
+||tracker.example^
+||wsnet.example^$websocket
+`)
+	return New("test-blocker", style, lists)
+}
+
+func details(url string, typ devtools.ResourceType) webrequest.Details {
+	return webrequest.Details{
+		RequestID: "R1", URL: url, Type: typ,
+		FrameID: "F1", FirstPartyURL: "http://pub.example/",
+	}
+}
+
+func TestBlockerCancelsListedResources(t *testing.T) {
+	b := testBlocker(AllURLs)
+	reg := webrequest.NewRegistry(true)
+	b.Install(reg)
+
+	if v := reg.Dispatch(details("http://cdn.adnet.example/ad.js", devtools.ResourceScript)); !v.Cancelled {
+		t.Error("listed script not blocked")
+	}
+	if v := reg.Dispatch(details("http://benign.example/lib.js", devtools.ResourceScript)); v.Cancelled {
+		t.Error("benign script blocked")
+	}
+	if v := reg.Dispatch(details("ws://wsnet.example/s", devtools.ResourceWebSocket)); !v.Cancelled {
+		t.Error("$websocket rule not applied on patched browser")
+	}
+	if b.BlockedCount() != 2 {
+		t.Errorf("blocked count = %d", b.BlockedCount())
+	}
+	rules := b.TopRules()
+	if rules["||adnet.example^$third-party"] != 1 {
+		t.Errorf("rule stats = %v", rules)
+	}
+}
+
+func TestBlockerNeverCancelsDocuments(t *testing.T) {
+	b := testBlocker(AllURLs)
+	reg := webrequest.NewRegistry(true)
+	b.Install(reg)
+	if v := reg.Dispatch(details("http://tracker.example/", devtools.ResourceDocument)); v.Cancelled {
+		t.Error("top-level document blocked")
+	}
+}
+
+func TestHTTPOnlyStyleMissesWebSockets(t *testing.T) {
+	b := testBlocker(HTTPOnlyPatterns)
+	reg := webrequest.NewRegistry(true) // patched browser
+	b.Install(reg)
+	if v := reg.Dispatch(details("ws://wsnet.example/s", devtools.ResourceWebSocket)); v.Cancelled {
+		t.Error("http-only patterns cancelled a ws:// request")
+	}
+	// HTTP still blocked.
+	if v := reg.Dispatch(details("http://tracker.example/t.gif", devtools.ResourceImage)); !v.Cancelled {
+		t.Error("http tracker not blocked")
+	}
+}
+
+func TestWRBDefeatsEvenAllURLs(t *testing.T) {
+	b := testBlocker(AllURLs)
+	reg := webrequest.NewRegistry(false) // pre-patch browser
+	b.Install(reg)
+	if v := reg.Dispatch(details("ws://wsnet.example/s", devtools.ResourceWebSocket)); v.Cancelled || v.Dispatched {
+		t.Errorf("WRB bypassed: %+v", v)
+	}
+	if b.BlockedCount() != 0 {
+		t.Error("blocker saw a websocket through the WRB")
+	}
+}

@@ -1,0 +1,105 @@
+package adblock
+
+import (
+	"sync"
+
+	"repro/internal/devtools"
+	"repro/internal/filterlist"
+	"repro/internal/urlutil"
+	"repro/internal/webrequest"
+)
+
+// SocketGuardBlocker models uBO-Extra (§2.3 of the paper): alongside
+// ordinary webRequest blocking it implements browser.SocketGuard, a
+// content-script wrapper around the WebSocket constructor. Because the
+// wrapper runs inside the page it works even on browsers where the
+// webRequest bug hides sockets from extensions — it was the community's
+// stopgap during the five unpatched years.
+type SocketGuardBlocker struct {
+	*Blocker
+	mu      sync.Mutex
+	guarded int
+}
+
+// NewSocketGuard builds a blocker whose WebSocket decisions also run as
+// a page-level guard. The underlying filter evaluation is shared.
+func NewSocketGuard(name string, style PatternStyle, lists ...*filterlist.List) *SocketGuardBlocker {
+	return &SocketGuardBlocker{Blocker: New(name, style, lists...)}
+}
+
+// AllowSocket implements browser.SocketGuard: the socket URL is checked
+// against the same rule group, as a WebSocket-typed request.
+func (g *SocketGuardBlocker) AllowSocket(pageURL, socketURL string) (bool, string) {
+	u, err := urlutil.Parse(socketURL)
+	if err != nil {
+		return true, ""
+	}
+	pageHost := ""
+	if p, err := urlutil.Parse(pageURL); err == nil {
+		pageHost = p.Host
+	}
+	d := g.group.Match(filterlist.Request{URL: u, Type: devtools.ResourceWebSocket, PageHost: pageHost})
+	if !d.Blocked {
+		return true, ""
+	}
+	g.mu.Lock()
+	g.guarded++
+	g.mu.Unlock()
+	return false, d.Rule.Raw
+}
+
+// GuardedCount returns how many sockets the page-level wrapper vetoed.
+func (g *SocketGuardBlocker) GuardedCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.guarded
+}
+
+// FeatureBlocker disables a whole browser feature rather than matching
+// URLs — the "block the WebSocket standard outright" strategy Snyder et
+// al. measured in privacy extensions (the paper cites their finding that
+// blockers disabled WebSockets 65% of the time). It cancels every
+// WebSocket it can see and, as a guard, every one it cannot.
+type FeatureBlocker struct {
+	name string
+	mu   sync.Mutex
+	hits int
+}
+
+// NewFeatureBlocker builds a block-all-WebSockets extension.
+func NewFeatureBlocker(name string) *FeatureBlocker {
+	return &FeatureBlocker{name: name}
+}
+
+// Name implements browser.Extension.
+func (f *FeatureBlocker) Name() string { return f.name }
+
+// Install implements browser.Extension.
+func (f *FeatureBlocker) Install(reg *webrequest.Registry) {
+	reg.OnBeforeRequest(f.name,
+		[]webrequest.MatchPattern{webrequest.MustParseMatchPattern("<all_urls>")},
+		[]devtools.ResourceType{devtools.ResourceWebSocket},
+		func(webrequest.Details) webrequest.BlockingResponse {
+			f.count()
+			return webrequest.BlockingResponse{Cancel: true, Rule: "feature:websocket"}
+		})
+}
+
+// AllowSocket implements browser.SocketGuard: nothing gets through.
+func (f *FeatureBlocker) AllowSocket(pageURL, socketURL string) (bool, string) {
+	f.count()
+	return false, "feature:websocket"
+}
+
+func (f *FeatureBlocker) count() {
+	f.mu.Lock()
+	f.hits++
+	f.mu.Unlock()
+}
+
+// BlockedCount returns how many sockets were cancelled.
+func (f *FeatureBlocker) BlockedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits
+}

@@ -1,0 +1,57 @@
+package adblock
+
+import (
+	"testing"
+
+	"repro/internal/filterlist"
+)
+
+func TestSocketGuardVetoesListedSockets(t *testing.T) {
+	g := NewSocketGuard("ubo-extra", AllURLs,
+		filterlist.Parse("rules", "||wsnet.example^$websocket\n||adnet.example^"))
+
+	allow, rule := g.AllowSocket("http://pub.example/", "ws://wsnet.example/s")
+	if allow {
+		t.Error("listed socket allowed by guard")
+	}
+	if rule == "" {
+		t.Error("veto carries no rule")
+	}
+	allow, _ = g.AllowSocket("http://pub.example/", "ws://benign.example/s")
+	if !allow {
+		t.Error("benign socket vetoed")
+	}
+	// Domain-anchored non-websocket rules also apply to sockets.
+	if allow, _ := g.AllowSocket("http://pub.example/", "ws://adnet.example/s"); allow {
+		t.Error("domain rule not applied to socket")
+	}
+	if g.GuardedCount() != 2 {
+		t.Errorf("guarded count = %d", g.GuardedCount())
+	}
+	// Unparsable URLs pass through (fail open, like content scripts).
+	if allow, _ := g.AllowSocket("http://pub.example/", "::not-a-url::"); !allow {
+		t.Error("unparsable URL vetoed")
+	}
+}
+
+func TestSocketGuardStillBlocksHTTPViaWebRequest(t *testing.T) {
+	g := NewSocketGuard("ubo-extra", AllURLs,
+		filterlist.Parse("rules", "||adnet.example^"))
+	// The embedded Blocker still works through the webRequest path.
+	if g.Name() != "ubo-extra" {
+		t.Error("name lost")
+	}
+	if g.BlockedCount() != 0 {
+		t.Error("fresh blocker has hits")
+	}
+}
+
+func TestFeatureBlockerBlocksEverything(t *testing.T) {
+	f := NewFeatureBlocker("no-websockets")
+	if allow, rule := f.AllowSocket("http://pub.example/", "ws://anything.example/s"); allow || rule != "feature:websocket" {
+		t.Error("feature blocker allowed a socket")
+	}
+	if f.BlockedCount() != 1 {
+		t.Errorf("count = %d", f.BlockedCount())
+	}
+}

@@ -1,0 +1,343 @@
+// Package analysis holds the crawl dataset model, the collector that
+// builds datasets from live page loads, and the generators for every
+// table and figure in the paper's evaluation (§4).
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/browser"
+	"repro/internal/content"
+	"repro/internal/crawler"
+	"repro/internal/inclusion"
+	"repro/internal/labeler"
+	"repro/internal/urlutil"
+)
+
+// SiteSummary is the per-site crawl outcome.
+type SiteSummary struct {
+	Domain  string `json:"domain"`
+	Rank    int    `json:"rank"`
+	Pages   int    `json:"pages"`
+	Sockets int    `json:"sockets"`
+}
+
+// SocketRecord is one observed WebSocket connection with everything the
+// tables need.
+type SocketRecord struct {
+	Site            string   `json:"site"`
+	Rank            int      `json:"rank"`
+	PageURL         string   `json:"pageUrl"`
+	URL             string   `json:"url"`
+	ReceiverDomain  string   `json:"receiver"`
+	InitiatorDomain string   `json:"initiator"`
+	ChainDomains    []string `json:"chainDomains"`
+	ChainURLs       []string `json:"chainUrls"`
+	CrossOrigin     bool     `json:"crossOrigin"`
+	HandshakeOK     bool     `json:"handshakeOk"`
+	// SentItems is the Table 5 item union over handshake headers and
+	// data frames.
+	SentItems []string `json:"sentItems,omitempty"`
+	// RecvClasses are the received-content classes present (HTML,
+	// JSON, …).
+	RecvClasses []string `json:"recvClasses,omitempty"`
+	FramesSent  int      `json:"framesSent"`
+	FramesRecv  int      `json:"framesRecv"`
+	// ChainBlocked records the post-hoc filter-list check of §4.2: a
+	// script along the chain would have been blocked.
+	ChainBlocked bool `json:"chainBlocked"`
+	// AdRefs counts ad-creative references in received frames, and
+	// AdSamples keeps a few captions (Figure 4).
+	AdRefs    int      `json:"adRefs,omitempty"`
+	AdSamples []string `json:"adSamples,omitempty"`
+}
+
+// DomainTraffic aggregates HTTP/S observations for one 2nd-level domain
+// (Table 5's comparison columns and the §4.2 blockable-chain baseline).
+type DomainTraffic struct {
+	Domain        string         `json:"domain"`
+	Requests      int            `json:"requests"`
+	SentItems     map[string]int `json:"sentItems,omitempty"`
+	RecvClasses   map[string]int `json:"recvClasses,omitempty"`
+	ChainsBlocked int            `json:"chainsBlocked"`
+}
+
+// Dataset is one crawl's complete measurement output.
+type Dataset struct {
+	Name       string `json:"name"`
+	Era        string `json:"era"`
+	CrawlIndex int    `json:"crawlIndex"`
+
+	Sites   []SiteSummary  `json:"sites"`
+	Sockets []SocketRecord `json:"sockets"`
+	// HTTPByDomain aggregates plain HTTP/S traffic per 2nd-level
+	// domain.
+	HTTPByDomain map[string]*DomainTraffic `json:"httpByDomain"`
+	// AADomains is the derived D′ for this crawl.
+	AADomains []string `json:"aaDomains"`
+	// CDNCandidates are the opaque CDN hosts flagged for manual
+	// mapping.
+	CDNCandidates []string `json:"cdnCandidates,omitempty"`
+}
+
+// AASet returns D′ as a set.
+func (d *Dataset) AASet() map[string]bool {
+	out := make(map[string]bool, len(d.AADomains))
+	for _, dom := range d.AADomains {
+		out[dom] = true
+	}
+	return out
+}
+
+// WriteJSON serializes the dataset.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// ReadJSON parses a dataset.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("analysis: decode dataset: %w", err)
+	}
+	return &d, nil
+}
+
+// UnionAASet merges D′ across crawls, the fixed A&A vocabulary used
+// when comparing crawls (the paper derives its set from an external
+// dataset once).
+func UnionAASet(datasets ...*Dataset) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range datasets {
+		for _, dom := range d.AADomains {
+			out[dom] = true
+		}
+	}
+	return out
+}
+
+// Collector builds a Dataset from live crawl pages. It is safe for
+// concurrent OnPage calls from crawl workers.
+type Collector struct {
+	Label *labeler.Labeler
+
+	mu      sync.Mutex
+	name    string
+	era     string
+	index   int
+	sites   map[string]*SiteSummary
+	sockets []SocketRecord
+	http    map[string]*DomainTraffic
+	errs    int
+}
+
+// NewCollector builds a collector for one crawl. The labeler must carry
+// the rule lists (and CDN map) to use for tagging.
+func NewCollector(name, era string, index int, lab *labeler.Labeler) *Collector {
+	return &Collector{
+		Label: lab,
+		name:  name,
+		era:   era,
+		index: index,
+		sites: map[string]*SiteSummary{},
+		http:  map[string]*DomainTraffic{},
+	}
+}
+
+// OnPage processes one crawled page: builds the inclusion tree, feeds
+// the labeler, and extracts socket and HTTP records.
+func (c *Collector) OnPage(site crawler.Site, pageURL string, res *browser.PageResult) {
+	tree, err := inclusion.Build(res.Trace)
+	if err != nil {
+		c.mu.Lock()
+		c.errs++
+		c.mu.Unlock()
+		return
+	}
+	c.Label.ObserveTree(tree)
+
+	pageHost := ""
+	if u, err := urlutil.Parse(pageURL); err == nil {
+		pageHost = u.Host
+	}
+
+	var sockets []SocketRecord
+	for _, ws := range tree.Sockets() {
+		sockets = append(sockets, c.socketRecord(site, pageURL, pageHost, ws))
+	}
+	httpAgg := c.httpObservations(tree, pageHost)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.sites[site.Domain]
+	if s == nil {
+		s = &SiteSummary{Domain: site.Domain, Rank: site.Rank}
+		c.sites[site.Domain] = s
+	}
+	s.Pages++
+	s.Sockets += len(sockets)
+	c.sockets = append(c.sockets, sockets...)
+	for dom, t := range httpAgg {
+		dst := c.http[dom]
+		if dst == nil {
+			dst = &DomainTraffic{Domain: dom, SentItems: map[string]int{}, RecvClasses: map[string]int{}}
+			c.http[dom] = dst
+		}
+		dst.Requests += t.Requests
+		dst.ChainsBlocked += t.ChainsBlocked
+		for k, v := range t.SentItems {
+			dst.SentItems[k] += v
+		}
+		for k, v := range t.RecvClasses {
+			dst.RecvClasses[k] += v
+		}
+	}
+}
+
+// socketRecord converts one socket node into a compact record,
+// classifying sent and received content.
+func (c *Collector) socketRecord(site crawler.Site, pageURL, pageHost string, ws *inclusion.Node) SocketRecord {
+	rec := SocketRecord{
+		Site:            site.Domain,
+		Rank:            site.Rank,
+		PageURL:         pageURL,
+		URL:             ws.URL,
+		ReceiverDomain:  c.Label.MapDomain(ws.Host()),
+		InitiatorDomain: c.Label.MapDomain(hostOf(ws.Parent)),
+		CrossOrigin:     inclusion.CrossOrigin(ws),
+		HandshakeOK:     ws.HandshakeStatus == 101,
+		FramesSent:      len(ws.Sent),
+		FramesRecv:      len(ws.Received),
+	}
+	chain := ws.Chain()
+	for _, n := range chain[:len(chain)-1] {
+		rec.ChainDomains = append(rec.ChainDomains, c.Label.MapDomain(n.Host()))
+		rec.ChainURLs = append(rec.ChainURLs, n.URL)
+	}
+	// The §4.2 post-hoc check asks whether "scripts in the inclusion
+	// chains leading to A&A sockets would have been blocked" — the
+	// chain up to, but not including, the socket itself.
+	rec.ChainBlocked = c.Label.MatchChain(chain[:len(chain)-1], pageHost)
+
+	// Sent items: handshake headers plus every data frame.
+	itemSets := [][]string{content.DetectSentHeaders(ws.HandshakeHeader)}
+	for _, f := range ws.Sent {
+		itemSets = append(itemSets, content.DetectSent(f.Payload))
+	}
+	rec.SentItems = content.MergeItems(itemSets...)
+
+	recvSeen := map[string]bool{}
+	for _, f := range ws.Received {
+		cls := content.ClassifyReceived(f.Payload)
+		if cls != "" && !recvSeen[cls] {
+			recvSeen[cls] = true
+			rec.RecvClasses = append(rec.RecvClasses, cls)
+		}
+		for _, ref := range content.ExtractAdRefs(f.Payload) {
+			rec.AdRefs++
+			if len(rec.AdSamples) < 3 {
+				rec.AdSamples = append(rec.AdSamples, ref.Caption)
+			}
+		}
+	}
+	sort.Strings(rec.RecvClasses)
+	return rec
+}
+
+// httpObservations aggregates one tree's HTTP requests per domain.
+func (c *Collector) httpObservations(tree *inclusion.Tree, pageHost string) map[string]*DomainTraffic {
+	out := map[string]*DomainTraffic{}
+	for _, req := range tree.Requests() {
+		dom := c.Label.MapDomain(hostOfURL(req.URL))
+		if dom == "" {
+			continue
+		}
+		t := out[dom]
+		if t == nil {
+			t = &DomainTraffic{Domain: dom, SentItems: map[string]int{}, RecvClasses: map[string]int{}}
+			out[dom] = t
+		}
+		t.Requests++
+		items := content.MergeItems(
+			content.DetectSentHeaders(req.Header),
+			content.DetectSent(req.ReqBody),
+		)
+		for _, item := range items {
+			t.SentItems[item]++
+		}
+		if cls := classifyHTTPResponse(req); cls != "" {
+			t.RecvClasses[cls]++
+		}
+		// As with sockets: a chain counts as blockable when a script
+		// *leading to* the resource matches, not the leaf itself.
+		chain := req.Chain()
+		if c.Label.MatchChain(chain[:len(chain)-1], pageHost) {
+			t.ChainsBlocked++
+		}
+	}
+	return out
+}
+
+// classifyHTTPResponse classifies a response body, falling back to the
+// declared MIME type for truncated bodies.
+func classifyHTTPResponse(req *inclusion.Node) string {
+	if cls := content.ClassifyReceived(req.RespBody); cls != "" {
+		return cls
+	}
+	switch {
+	case strings.Contains(req.MimeType, "javascript"):
+		return content.RecvJavaScript
+	case strings.Contains(req.MimeType, "html"):
+		return content.RecvHTML
+	case strings.Contains(req.MimeType, "json"):
+		return content.RecvJSON
+	case strings.Contains(req.MimeType, "image"):
+		return content.RecvImage
+	}
+	return ""
+}
+
+func hostOf(n *inclusion.Node) string {
+	if n == nil {
+		return ""
+	}
+	return n.Host()
+}
+
+func hostOfURL(raw string) string {
+	u, err := urlutil.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	return u.Host
+}
+
+// Finalize derives D′ and assembles the dataset.
+func (c *Collector) Finalize() *Dataset {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := &Dataset{
+		Name:         c.name,
+		Era:          c.era,
+		CrawlIndex:   c.index,
+		Sockets:      c.sockets,
+		HTTPByDomain: c.http,
+	}
+	for _, s := range c.sites {
+		d.Sites = append(d.Sites, *s)
+	}
+	sort.Slice(d.Sites, func(i, j int) bool { return d.Sites[i].Rank < d.Sites[j].Rank })
+	for dom := range c.Label.Domains() {
+		d.AADomains = append(d.AADomains, dom)
+	}
+	sort.Strings(d.AADomains)
+	d.CDNCandidates = c.Label.CDNCandidates()
+	return d
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTable1CSV exports Table 1 rows for plotting.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"crawl", "era", "sites", "pct_sites_with_sockets", "sockets",
+		"pct_aa_initiated", "unique_aa_initiators", "pct_aa_received", "unique_aa_receivers",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Crawl, r.Era, strconv.Itoa(r.Sites),
+			fmtF(r.PctSitesWithSockets), strconv.Itoa(r.Sockets),
+			fmtF(r.PctAAInitiated), strconv.Itoa(r.UniqueAAInitiators),
+			fmtF(r.PctAAReceived), strconv.Itoa(r.UniqueAAReceivers),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure3CSV exports the rank series (one row per bin) so the
+// figure can be re-plotted with any charting tool.
+func WriteFigure3CSV(w io.Writer, bins []RankBin) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank_bin_low", "sites", "pct_aa_sites", "pct_non_aa_sites"}); err != nil {
+		return err
+	}
+	for _, b := range bins {
+		rec := []string{
+			strconv.Itoa(b.LowRank), strconv.Itoa(b.Sites),
+			fmtF(b.PctAASites), fmtF(b.PctNonAASites),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSocketsCSV exports the raw socket records (one per connection)
+// for downstream analysis outside this toolchain.
+func WriteSocketsCSV(w io.Writer, datasets ...*Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"crawl", "site", "rank", "page_url", "socket_url", "receiver",
+		"initiator", "cross_origin", "frames_sent", "frames_recv",
+		"chain_blocked", "sent_items", "recv_classes",
+	}); err != nil {
+		return err
+	}
+	for _, d := range datasets {
+		for _, ws := range d.Sockets {
+			rec := []string{
+				d.Name, ws.Site, strconv.Itoa(ws.Rank), ws.PageURL, ws.URL,
+				ws.ReceiverDomain, ws.InitiatorDomain,
+				strconv.FormatBool(ws.CrossOrigin),
+				strconv.Itoa(ws.FramesSent), strconv.Itoa(ws.FramesRecv),
+				strconv.FormatBool(ws.ChainBlocked),
+				join(ws.SentItems), join(ws.RecvClasses),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(f float64) string { return strconv.FormatFloat(f, 'f', 3, 64) }
+
+func join(items []string) string {
+	out := ""
+	for i, it := range items {
+		if i > 0 {
+			out += "|"
+		}
+		out += it
+	}
+	return out
+}
+
+// ReceiverCategory is the manual service classification of §4.2's
+// discussion — the paper's point that the receiver population spans
+// chat, session replay, comments, push infrastructure, and ad
+// platforms. Like the paper's, the mapping is hand-maintained.
+var ReceiverCategory = map[string]string{
+	"intercom.io":           "live chat",
+	"zopim.com":             "live chat",
+	"smartsupp.com":         "live chat",
+	"velaro.com":            "live chat",
+	"clickdesk.com":         "live chat",
+	"disqus.com":            "comments + ads",
+	"hotjar.com":            "session replay",
+	"inspectlet.com":        "session replay",
+	"luckyorange.com":       "session replay",
+	"truconversion.com":     "session replay",
+	"simpleheatmaps.com":    "session replay",
+	"pusher.com":            "realtime push",
+	"realtime.co":           "realtime push",
+	"cloudflare.com":        "infrastructure",
+	"feedjit.com":           "analytics",
+	"freshrelevance.com":    "analytics",
+	"33across.com":          "ad platform",
+	"lockerdome.com":        "ad platform",
+	"googlesyndication.com": "ad exchange",
+	"adnxs.com":             "ad exchange",
+	"addthis.com":           "social / ads",
+}
+
+// CategoryRow aggregates A&A-received sockets per service category.
+type CategoryRow struct {
+	Category  string
+	Receivers int
+	Sockets   int
+}
+
+// ReceiverCategories groups Table 3's receivers by business model,
+// reproducing §4.2's observation that "WebSockets are being used to
+// serve advertisements and to track users" across service types.
+func ReceiverCategories(datasets ...*Dataset) []CategoryRow {
+	aa := UnionAASet(datasets...)
+	perCat := map[string]*CategoryRow{}
+	seenRecv := map[string]bool{}
+	for _, d := range datasets {
+		for _, ws := range d.Sockets {
+			if !aa[ws.ReceiverDomain] {
+				continue
+			}
+			cat, ok := ReceiverCategory[ws.ReceiverDomain]
+			if !ok {
+				cat = "other A&A"
+			}
+			row := perCat[cat]
+			if row == nil {
+				row = &CategoryRow{Category: cat}
+				perCat[cat] = row
+			}
+			row.Sockets++
+			key := cat + "|" + ws.ReceiverDomain
+			if !seenRecv[key] {
+				seenRecv[key] = true
+				row.Receivers++
+			}
+		}
+	}
+	out := make([]CategoryRow, 0, len(perCat))
+	for _, row := range perCat {
+		out = append(out, *row)
+	}
+	// Order by socket volume, then name for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.Sockets > a.Sockets || (b.Sockets == a.Sockets && b.Category < a.Category) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RenderReceiverCategories formats the category breakdown.
+func RenderReceiverCategories(rows []CategoryRow) string {
+	out := "A&A receiver business models (§4.2)\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("  %-16s %2d receivers, %5d sockets\n", r.Category, r.Receivers, r.Sockets)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteTable1CSV(t *testing.T) {
+	pre, post := fixtureDatasets()
+	var buf bytes.Buffer
+	if err := WriteTable1CSV(&buf, Table1(pre, post)); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 { // header + 2 crawls
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[0][0] != "crawl" || records[1][0] != "crawl-1" {
+		t.Errorf("rows = %v", records)
+	}
+}
+
+func TestWriteFigure3CSV(t *testing.T) {
+	pre, post := fixtureDatasets()
+	var buf bytes.Buffer
+	bins := Figure3Binned([]int{0, 10_000, 100_000}, pre, post)
+	if err := WriteFigure3CSV(&buf, bins); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[1][0] != "0" {
+		t.Errorf("first bin = %v", records[1])
+	}
+}
+
+func TestWriteSocketsCSV(t *testing.T) {
+	pre, post := fixtureDatasets()
+	var buf bytes.Buffer
+	if err := WriteSocketsCSV(&buf, pre, post); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1+len(pre.Sockets)+len(post.Sockets) {
+		t.Fatalf("records = %d", len(records))
+	}
+	// The fingerprint-ish socket carries its sent items pipe-joined.
+	found := false
+	for _, rec := range records[1:] {
+		if strings.Contains(rec[11], "|") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no multi-item sent_items column")
+	}
+}
+
+func TestReceiverCategories(t *testing.T) {
+	pre, post := fixtureDatasets()
+	rows := ReceiverCategories(pre, post)
+	if len(rows) == 0 {
+		t.Fatal("no categories")
+	}
+	byCat := map[string]CategoryRow{}
+	for _, r := range rows {
+		byCat[r.Category] = r
+	}
+	// zopim appears in both crawls, intercom in both: 2 receivers, 4 sockets.
+	chat := byCat["live chat"]
+	if chat.Receivers != 2 || chat.Sockets != 4 {
+		t.Errorf("live chat = %+v", chat)
+	}
+	if byCat["ad platform"].Sockets == 0 {
+		t.Error("ad platform missing (lockerdome)")
+	}
+	// Rows are ordered by socket volume.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Sockets > rows[i-1].Sockets {
+			t.Errorf("rows not sorted: %v", rows)
+		}
+	}
+	out := RenderReceiverCategories(rows)
+	if !strings.Contains(out, "live chat") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,252 @@
+// Package content classifies network payloads the way the paper's
+// authors did with a hand-built library of regular expressions (§4.3):
+// detecting PII and fingerprinting state in sent data (Table 5, top) and
+// classifying received content (Table 5, bottom).
+//
+// The detectors work on raw bytes and headers — they do not share code
+// with the payload generator, so the pipeline genuinely has to find
+// cookies, fingerprints, and DOM dumps by pattern matching.
+package content
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"unicode/utf8"
+)
+
+// SentItem names in Table 5 order.
+const (
+	SentUserAgent   = "User Agent"
+	SentCookie      = "Cookie"
+	SentIP          = "IP"
+	SentUserID      = "User ID"
+	SentDevice      = "Device"
+	SentScreen      = "Screen"
+	SentBrowser     = "Browser"
+	SentViewport    = "Viewport"
+	SentScroll      = "Scroll Position"
+	SentOrientation = "Orientation"
+	SentFirstSeen   = "First Seen"
+	SentResolution  = "Resolution"
+	SentLanguage    = "Language"
+	SentDOM         = "DOM"
+	SentBinary      = "Binary"
+)
+
+// SentItemOrder is the display order used by Table 5.
+var SentItemOrder = []string{
+	SentUserAgent, SentCookie, SentIP, SentUserID, SentDevice,
+	SentScreen, SentBrowser, SentViewport, SentScroll, SentOrientation,
+	SentFirstSeen, SentResolution, SentLanguage, SentDOM, SentBinary,
+}
+
+// ReceivedItem names in Table 5 order.
+const (
+	RecvHTML       = "HTML"
+	RecvJSON       = "JSON"
+	RecvJavaScript = "JavaScript"
+	RecvImage      = "Image"
+	RecvBinary     = "Binary"
+)
+
+// ReceivedItemOrder is the display order used by Table 5.
+var ReceivedItemOrder = []string{RecvHTML, RecvJSON, RecvJavaScript, RecvImage, RecvBinary}
+
+// The detection library. Each entry pairs a Table 5 item with the
+// patterns that reveal it in raw traffic.
+var (
+	reUserAgent = regexp.MustCompile(`Mozilla/\d\.\d \([^)]*\)|(^|[&?;])ua=`)
+	reCookie    = regexp.MustCompile(`(^|[&?;])cookie=|(^|;\s*)[A-Za-z_][\w.]*=[\w%.:-]+;\s*[A-Za-z_]`)
+	reIP        = regexp.MustCompile(`(^|[&?;])(client_ip|ip|ip_addr|remote_addr)=\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}`)
+	reUserID    = regexp.MustCompile(`(^|[&?;])(user_id|client_id|account_id|uid|visitor_id)=[\w.-]+`)
+	reDevice    = regexp.MustCompile(`(^|[&?;])(device_type|device_family|device)=[\w-]+`)
+	reScreen    = regexp.MustCompile(`(^|[&?;])screen=\d+x\d+`)
+	reBrowser   = regexp.MustCompile(`(^|[&?;])(browser_type|browser_family|browser)=[\w-]+`)
+	reViewport  = regexp.MustCompile(`(^|[&?;])viewport=\d+x\d+`)
+	reScroll    = regexp.MustCompile(`(^|[&?;])(scroll_pos|scroll_y|scroll)=\d+`)
+	reOrient    = regexp.MustCompile(`(^|[&?;])orientation=(landscape|portrait)[\w-]*`)
+	reFirstSeen = regexp.MustCompile(`(^|[&?;])(first_seen|firstseen|created_at)=\d{4}-\d{2}-\d{2}`)
+	reResol     = regexp.MustCompile(`(^|[&?;])resolution=\d+x\d+(x\d+)?`)
+	reLanguage  = regexp.MustCompile(`(^|[&?;])(lang|language|locale)=[a-z]{2}(-[A-Z]{2})?`)
+	reDOMField  = regexp.MustCompile(`(^|[&?;])dom=([A-Za-z0-9+/=]+)`)
+)
+
+// DetectSent returns the set of Table 5 sent-items present in one
+// payload. Binary (non-UTF-8) payloads yield only SentBinary, mirroring
+// the paper's undecodable 1%.
+func DetectSent(data []byte) []string {
+	if len(data) == 0 {
+		return nil
+	}
+	if !utf8.Valid(data) {
+		return []string{SentBinary}
+	}
+	s := string(data)
+	var items []string
+	add := func(item string, re *regexp.Regexp) {
+		if re.MatchString(s) {
+			items = append(items, item)
+		}
+	}
+	add(SentUserAgent, reUserAgent)
+	add(SentCookie, reCookie)
+	add(SentIP, reIP)
+	add(SentUserID, reUserID)
+	add(SentDevice, reDevice)
+	add(SentScreen, reScreen)
+	add(SentBrowser, reBrowser)
+	add(SentViewport, reViewport)
+	add(SentScroll, reScroll)
+	add(SentOrientation, reOrient)
+	add(SentFirstSeen, reFirstSeen)
+	add(SentResolution, reResol)
+	add(SentLanguage, reLanguage)
+	if m := reDOMField.FindStringSubmatch(s); m != nil {
+		if decoded, err := base64.StdEncoding.DecodeString(m[2]); err == nil && looksLikeHTML(decoded) {
+			items = append(items, SentDOM)
+		}
+	} else if looksLikeFullDocument(s) {
+		items = append(items, SentDOM)
+	}
+	return items
+}
+
+// DetectSentHeaders inspects request/handshake headers for sent items
+// (the reason Table 5 reports User Agent at 100%: every handshake carries
+// one).
+func DetectSentHeaders(header map[string]string) []string {
+	var items []string
+	for k, v := range header {
+		switch strings.ToLower(k) {
+		case "user-agent":
+			if v != "" {
+				items = append(items, SentUserAgent)
+			}
+		case "cookie":
+			if v != "" {
+				items = append(items, SentCookie)
+			}
+		case "accept-language":
+			if v != "" {
+				items = append(items, SentLanguage)
+			}
+		}
+	}
+	return items
+}
+
+// MergeItems unions item slices, preserving Table 5 order.
+func MergeItems(sets ...[]string) []string {
+	present := map[string]bool{}
+	for _, set := range sets {
+		for _, item := range set {
+			present[item] = true
+		}
+	}
+	var out []string
+	for _, item := range SentItemOrder {
+		if present[item] {
+			out = append(out, item)
+		}
+	}
+	// Preserve any received-item names callers merged through here.
+	for _, item := range ReceivedItemOrder {
+		if present[item] {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+func looksLikeHTML(b []byte) bool {
+	s := strings.ToLower(strings.TrimSpace(string(b)))
+	return strings.HasPrefix(s, "<!doctype html") || strings.HasPrefix(s, "<html") ||
+		(strings.HasPrefix(s, "<") && strings.Contains(s, "</"))
+}
+
+func looksLikeFullDocument(s string) bool {
+	ls := strings.ToLower(s)
+	return strings.Contains(ls, "<html") && strings.Contains(ls, "<body")
+}
+
+// Image magic numbers.
+var (
+	magicGIF  = []byte("GIF8")
+	magicPNG  = []byte("\x89PNG")
+	magicJPEG = []byte("\xFF\xD8\xFF")
+)
+
+// IsImage reports whether data starts with a known image signature.
+func IsImage(data []byte) bool {
+	return bytes.HasPrefix(data, magicGIF) || bytes.HasPrefix(data, magicPNG) || bytes.HasPrefix(data, magicJPEG)
+}
+
+var reJS = regexp.MustCompile(`(?s)^\s*(\(function\s*\(|function\s+\w+\s*\(|var\s+\w+\s*=|!function|window\.|"use strict")`)
+
+// ClassifyReceived assigns one Table 5 received-item class to a payload,
+// or "" for empty data. Precedence: image signatures, then binary, then
+// JSON, then HTML, then JavaScript; everything else counts as HTML-free
+// text and returns "".
+func ClassifyReceived(data []byte) string {
+	if len(data) == 0 {
+		return ""
+	}
+	if IsImage(data) {
+		return RecvImage
+	}
+	if !utf8.Valid(data) {
+		return RecvBinary
+	}
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '[') && json.Valid(trimmed) {
+		return RecvJSON
+	}
+	if looksLikeHTML(trimmed) {
+		return RecvHTML
+	}
+	if reJS.Match(trimmed) {
+		return RecvJavaScript
+	}
+	return ""
+}
+
+// AdURLPattern matches ad-image URL metadata inside received JSON — the
+// Lockerdome pattern from §4.3: URLs to creatives plus caption and
+// dimension metadata.
+var AdURLPattern = regexp.MustCompile(`"img"\s*:\s*"(https?://[^"]+)"\s*,\s*"caption"\s*:\s*"([^"]*)"\s*,\s*"width"\s*:\s*(\d+)\s*,\s*"height"\s*:\s*(\d+)`)
+
+// AdRef is one ad-creative reference extracted from a payload.
+type AdRef struct {
+	ImageURL string
+	Caption  string
+	Width    int
+	Height   int
+}
+
+// ExtractAdRefs pulls ad-creative references out of a received payload.
+func ExtractAdRefs(data []byte) []AdRef {
+	if !utf8.Valid(data) {
+		return nil
+	}
+	var out []AdRef
+	for _, m := range AdURLPattern.FindAllStringSubmatch(string(data), -1) {
+		out = append(out, AdRef{
+			ImageURL: m[1],
+			Caption:  m[2],
+			Width:    atoiSafe(m[3]),
+			Height:   atoiSafe(m[4]),
+		})
+	}
+	return out
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		n = n*10 + int(s[i]-'0')
+	}
+	return n
+}

@@ -1,0 +1,221 @@
+// Package core is the public entry point of the reproduction: it wires
+// the synthetic web, the instrumented browser, the crawler, the labeler,
+// and the analysis into the paper's four-crawl study, and renders every
+// table and figure of the evaluation.
+//
+// Typical use:
+//
+//	study, err := core.RunStudy(ctx, core.DefaultOptions())
+//	fmt.Println(study.Report())
+//
+// Individual crawls, custom worlds, and blocker-equipped browsers are
+// available through RunCrawl and the underlying packages.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/browser"
+	"repro/internal/crawler"
+	"repro/internal/filterlist"
+	"repro/internal/labeler"
+	"repro/internal/webgen"
+	"repro/internal/webserver"
+)
+
+// CrawlSpec identifies one crawl of the study.
+type CrawlSpec struct {
+	// Name labels the crawl in tables ("Apr 02-05, 2017").
+	Name string
+	// Era selects company behaviour relative to the Chrome 58 patch.
+	Era webgen.Era
+	// CrawlIndex perturbs session-level randomness between crawls.
+	CrawlIndex int
+	// BrowserVersion is the Chrome version current at crawl time.
+	BrowserVersion int
+}
+
+// DefaultCrawls returns the paper's four crawls (Table 1).
+func DefaultCrawls() []CrawlSpec {
+	return []CrawlSpec{
+		{Name: "Apr 02-05, 2017", Era: webgen.EraPrePatch, CrawlIndex: 0, BrowserVersion: 57},
+		{Name: "Apr 11-16, 2017", Era: webgen.EraPrePatch, CrawlIndex: 1, BrowserVersion: 57},
+		{Name: "May 07-12, 2017", Era: webgen.EraPostPatch, CrawlIndex: 2, BrowserVersion: 58},
+		{Name: "Oct 12-16, 2017", Era: webgen.EraPostPatch, CrawlIndex: 3, BrowserVersion: 61},
+	}
+}
+
+// Options parameterizes a study run.
+type Options struct {
+	// Seed drives the whole study deterministically.
+	Seed int64
+	// NumPublishers scales the synthetic web (the paper crawled 100K
+	// sites; the default reproduction is laptop-scale).
+	NumPublishers int
+	// Workers is the crawl parallelism.
+	Workers int
+	// PagesPerSite is the per-site page budget (paper: 15).
+	PagesPerSite int
+	// WaitBetweenPages throttles the crawl (paper: ~60s; default 0).
+	WaitBetweenPages time.Duration
+	// Extensions, if non-nil, builds blocking extensions per crawl
+	// worker; the paper crawled with stock Chrome (nil).
+	Extensions func(spec CrawlSpec) []browser.Extension
+}
+
+// DefaultOptions returns the laptop-scale defaults.
+func DefaultOptions() Options {
+	return Options{
+		Seed:          20170419,
+		NumPublishers: 600,
+		Workers:       8,
+		PagesPerSite:  15,
+	}
+}
+
+// CrawlResult is one completed crawl.
+type CrawlResult struct {
+	Spec    CrawlSpec
+	Dataset *analysis.Dataset
+	Stats   crawler.Stats
+}
+
+// RunCrawl generates the world for a crawl spec, serves it, crawls it,
+// and returns the measurement dataset.
+func RunCrawl(ctx context.Context, opts Options, spec CrawlSpec) (*CrawlResult, error) {
+	opts = withDefaults(opts)
+	world := webgen.NewWorld(webgen.Config{
+		Seed:          opts.Seed,
+		NumPublishers: opts.NumPublishers,
+		Era:           spec.Era,
+		CrawlIndex:    spec.CrawlIndex,
+	})
+	server, err := webserver.Start(world)
+	if err != nil {
+		return nil, fmt.Errorf("core: start server: %w", err)
+	}
+	defer server.Close()
+
+	// The analysis labels with the same rule lists the blockers use —
+	// EasyList + EasyPrivacy — plus the study's manual CDN mapping
+	// (the 13 hand-mapped Cloudfront hosts of §3.2).
+	easylist := filterlist.Parse("easylist", world.EasyListText())
+	easyprivacy := filterlist.Parse("easyprivacy", world.EasyPrivacyText())
+	lab := labeler.New(easylist, easyprivacy)
+	lab.SetCDNMap(world.CloudfrontMap())
+
+	collector := analysis.NewCollector(spec.Name, spec.Era.String(), spec.CrawlIndex, lab)
+
+	sites := make([]crawler.Site, 0, len(world.Publishers))
+	for _, p := range world.Publishers {
+		sites = append(sites, crawler.Site{Domain: p.Domain, Rank: p.Rank})
+	}
+
+	cfg := crawler.Config{
+		Workers:          opts.Workers,
+		PagesPerSite:     opts.PagesPerSite,
+		Seed:             opts.Seed + int64(spec.CrawlIndex),
+		WaitBetweenPages: opts.WaitBetweenPages,
+		NewBrowser: func(worker int) *browser.Browser {
+			var exts []browser.Extension
+			if opts.Extensions != nil {
+				exts = opts.Extensions(spec)
+			}
+			return browser.New(browser.Config{
+				Version:    spec.BrowserVersion,
+				Seed:       opts.Seed + int64(spec.CrawlIndex)*1000 + int64(worker),
+				HTTPClient: server.Client(),
+				ResolveWS:  server.Resolver(),
+			}, exts...)
+		},
+		OnPage: collector.OnPage,
+	}
+	stats, err := crawler.Crawl(ctx, sites, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: crawl %q: %w", spec.Name, err)
+	}
+	return &CrawlResult{Spec: spec, Dataset: collector.Finalize(), Stats: stats}, nil
+}
+
+// Study is the completed four-crawl measurement.
+type Study struct {
+	Options Options
+	Results []*CrawlResult
+}
+
+// RunStudy executes the paper's full methodology: two crawls before the
+// patch, two after.
+func RunStudy(ctx context.Context, opts Options) (*Study, error) {
+	opts = withDefaults(opts)
+	study := &Study{Options: opts}
+	for _, spec := range DefaultCrawls() {
+		res, err := RunCrawl(ctx, opts, spec)
+		if err != nil {
+			return nil, err
+		}
+		study.Results = append(study.Results, res)
+	}
+	return study, nil
+}
+
+func withDefaults(opts Options) Options {
+	def := DefaultOptions()
+	if opts.Seed == 0 {
+		opts.Seed = def.Seed
+	}
+	if opts.NumPublishers <= 0 {
+		opts.NumPublishers = def.NumPublishers
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = def.Workers
+	}
+	if opts.PagesPerSite <= 0 {
+		opts.PagesPerSite = def.PagesPerSite
+	}
+	return opts
+}
+
+// Datasets returns the study's datasets in crawl order.
+func (s *Study) Datasets() []*analysis.Dataset {
+	out := make([]*analysis.Dataset, len(s.Results))
+	for i, r := range s.Results {
+		out[i] = r.Dataset
+	}
+	return out
+}
+
+// Report renders every table and figure of the paper's evaluation.
+func (s *Study) Report() string {
+	ds := s.Datasets()
+	var b strings.Builder
+	b.WriteString("=== Reproduction: How Tracking Companies Circumvented Ad Blockers Using WebSockets ===\n\n")
+	b.WriteString("--- Table 1: High-level crawl statistics ---\n")
+	b.WriteString(analysis.RenderTable1(analysis.Table1(ds...)))
+	b.WriteString("\n--- Table 2: Top 15 WebSocket initiators ---\n")
+	b.WriteString(analysis.RenderTable2(analysis.Table2(15, ds...)))
+	b.WriteString("\n--- Table 3: Top 15 A&A WebSocket receivers ---\n")
+	b.WriteString(analysis.RenderTable3(analysis.Table3(15, ds...)))
+	b.WriteString("\n--- Table 4: Top 15 initiator/receiver pairs ---\n")
+	b.WriteString(analysis.RenderTable4(analysis.Table4(15, ds...)))
+	b.WriteString("\n--- Table 5: Content sent/received over A&A sockets vs HTTP/S ---\n")
+	b.WriteString(analysis.RenderTable5(analysis.Table5(ds...)))
+	b.WriteString("\n--- Figure 1 ---\n")
+	b.WriteString(analysis.RenderFigure1())
+	b.WriteString("\n--- Figure 3 ---\n")
+	b.WriteString(analysis.RenderFigure3(analysis.Figure3Binned(analysis.DefaultRankEdges, ds...)))
+	b.WriteString("\n--- Figure 4 ---\n")
+	b.WriteString(analysis.RenderFigure4(analysis.Figure4(6, ds...)))
+	b.WriteString("\n")
+	b.WriteString(analysis.RenderOverview(analysis.ComputeOverview(ds...)))
+	b.WriteString("\n")
+	b.WriteString(analysis.RenderReceiverCategories(analysis.ReceiverCategories(ds...)))
+	if len(ds) >= 2 {
+		b.WriteString("\n")
+		b.WriteString(analysis.RenderChurn(analysis.ComputeChurn(ds[0], ds[len(ds)-1], analysis.UnionAASet(ds...))))
+	}
+	return b.String()
+}

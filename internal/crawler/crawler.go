@@ -1,0 +1,173 @@
+// Package crawler implements the paper's crawl methodology (§3.3): for
+// every site, visit the homepage, extract same-site links, and visit up
+// to 15 of them at random, topping up from links discovered on visited
+// pages when the homepage offers fewer.
+//
+// The crawler is deterministic per (seed, site) and runs sites across a
+// worker pool, each worker owning its own browser instance (one
+// synthetic user per worker, like one Chrome profile per crawler node).
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/browser"
+)
+
+// Site is one crawl target.
+type Site struct {
+	// Domain is the site's registrable domain.
+	Domain string
+	// Rank is its Alexa-style rank (carried through to records).
+	Rank int
+}
+
+// Config parameterizes a crawl.
+type Config struct {
+	// Workers is the number of parallel site crawlers (default 8).
+	Workers int
+	// PagesPerSite caps pages visited per site including the homepage
+	// (default 15, the paper's budget).
+	PagesPerSite int
+	// Seed drives per-site link sampling.
+	Seed int64
+	// WaitBetweenPages throttles page visits (the paper waited ~60s;
+	// the simulator defaults to 0).
+	WaitBetweenPages time.Duration
+	// NewBrowser builds the browser for a worker. Required.
+	NewBrowser func(worker int) *browser.Browser
+	// OnPage receives every successfully loaded page. It may be called
+	// concurrently from workers.
+	OnPage func(site Site, pageURL string, res *browser.PageResult)
+}
+
+// Stats summarizes a crawl.
+type Stats struct {
+	Sites      int64
+	Pages      int64
+	PageErrors int64
+}
+
+// Crawl visits every site and reports aggregate stats. It stops early
+// when ctx is cancelled, returning the stats so far plus ctx.Err().
+func Crawl(ctx context.Context, sites []Site, cfg Config) (Stats, error) {
+	if cfg.NewBrowser == nil {
+		return Stats{}, fmt.Errorf("crawler: Config.NewBrowser is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	pagesPer := cfg.PagesPerSite
+	if pagesPer <= 0 {
+		pagesPer = 15
+	}
+
+	var stats Stats
+	jobs := make(chan Site)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			b := cfg.NewBrowser(worker)
+			for site := range jobs {
+				crawlSite(ctx, b, site, pagesPer, cfg, &stats)
+			}
+		}(w)
+	}
+
+feed:
+	for _, s := range sites {
+		select {
+		case jobs <- s:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return stats, ctx.Err()
+}
+
+// crawlSite implements the per-site policy.
+func crawlSite(ctx context.Context, b *browser.Browser, site Site, pagesPer int, cfg Config, stats *Stats) {
+	if ctx.Err() != nil {
+		return
+	}
+	atomic.AddInt64(&stats.Sites, 1)
+	rng := siteRand(cfg.Seed, site.Domain)
+
+	home := "http://" + site.Domain + "/"
+	visited := map[string]bool{}
+	res := visit(ctx, b, site, home, cfg, stats)
+	if res == nil {
+		return
+	}
+	visited[home] = true
+
+	// The frontier starts with the homepage's links, shuffled; links
+	// found on visited pages top it up when the homepage has fewer
+	// than the budget.
+	frontier := shuffled(rng, res.Links)
+	for len(frontier) > 0 && len(visited) < pagesPer && ctx.Err() == nil {
+		next := frontier[0]
+		frontier = frontier[1:]
+		if visited[next] {
+			continue
+		}
+		if cfg.WaitBetweenPages > 0 {
+			select {
+			case <-time.After(cfg.WaitBetweenPages):
+			case <-ctx.Done():
+				return
+			}
+		}
+		res := visit(ctx, b, site, next, cfg, stats)
+		visited[next] = true
+		if res == nil {
+			continue
+		}
+		// Top up the frontier from newly discovered links.
+		if len(visited)+len(frontier) < pagesPer {
+			for _, l := range shuffled(rng, res.Links) {
+				if !visited[l] {
+					frontier = append(frontier, l)
+				}
+			}
+		}
+	}
+}
+
+func visit(ctx context.Context, b *browser.Browser, site Site, url string, cfg Config, stats *Stats) *browser.PageResult {
+	res, err := b.Visit(ctx, url)
+	if err != nil {
+		atomic.AddInt64(&stats.PageErrors, 1)
+		return nil
+	}
+	atomic.AddInt64(&stats.Pages, 1)
+	if cfg.OnPage != nil {
+		cfg.OnPage(site, url, res)
+	}
+	return res
+}
+
+// siteRand derives the per-site link-sampling RNG.
+func siteRand(seed int64, domain string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", seed, domain)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// shuffled returns a shuffled copy.
+func shuffled(rng *rand.Rand, in []string) []string {
+	out := append([]string(nil), in...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,175 @@
+package crawler
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/webgen"
+	"repro/internal/webserver"
+)
+
+func testEnv(t *testing.T) (*webgen.World, *webserver.Server) {
+	t.Helper()
+	w := webgen.NewWorld(webgen.Config{Seed: 31, NumPublishers: 30, Era: webgen.EraPrePatch})
+	s, err := webserver.Start(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return w, s
+}
+
+func TestCrawlRespectsPageBudget(t *testing.T) {
+	w, s := testEnv(t)
+	var mu sync.Mutex
+	pagesBySite := map[string]int{}
+	sites := []Site{
+		{Domain: w.Publishers[0].Domain, Rank: w.Publishers[0].Rank},
+		{Domain: w.Publishers[1].Domain, Rank: w.Publishers[1].Rank},
+	}
+	cfg := Config{
+		Workers:      2,
+		PagesPerSite: 5,
+		Seed:         7,
+		NewBrowser: func(worker int) *browser.Browser {
+			return browser.New(browser.Config{
+				Version: 57, Seed: int64(worker),
+				HTTPClient: s.Client(), ResolveWS: s.Resolver(),
+			})
+		},
+		OnPage: func(site Site, pageURL string, res *browser.PageResult) {
+			mu.Lock()
+			pagesBySite[site.Domain]++
+			mu.Unlock()
+		},
+	}
+	stats, err := Crawl(context.Background(), sites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sites != 2 {
+		t.Errorf("sites = %d", stats.Sites)
+	}
+	for dom, n := range pagesBySite {
+		if n > 5 {
+			t.Errorf("%s: %d pages, budget 5", dom, n)
+		}
+		if n < 1 {
+			t.Errorf("%s: no pages", dom)
+		}
+	}
+	if stats.Pages != int64(pagesBySite[sites[0].Domain]+pagesBySite[sites[1].Domain]) {
+		t.Error("page count mismatch")
+	}
+}
+
+func TestCrawlVisitsHomepageFirst(t *testing.T) {
+	w, s := testEnv(t)
+	var mu sync.Mutex
+	var order []string
+	site := Site{Domain: w.Publishers[0].Domain, Rank: 1}
+	cfg := Config{
+		Workers: 1, PagesPerSite: 3, Seed: 7,
+		NewBrowser: func(worker int) *browser.Browser {
+			return browser.New(browser.Config{Version: 57, Seed: 1, HTTPClient: s.Client(), ResolveWS: s.Resolver()})
+		},
+		OnPage: func(_ Site, pageURL string, _ *browser.PageResult) {
+			mu.Lock()
+			order = append(order, pageURL)
+			mu.Unlock()
+		},
+	}
+	if _, err := Crawl(context.Background(), []Site{site}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) == 0 || order[0] != "http://"+site.Domain+"/" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestCrawlDeterministicLinkSampling(t *testing.T) {
+	w, s := testEnv(t)
+	run := func() []string {
+		var mu sync.Mutex
+		var pages []string
+		cfg := Config{
+			Workers: 1, PagesPerSite: 6, Seed: 99,
+			NewBrowser: func(worker int) *browser.Browser {
+				return browser.New(browser.Config{Version: 57, Seed: 5, HTTPClient: s.Client(), ResolveWS: s.Resolver()})
+			},
+			OnPage: func(_ Site, pageURL string, _ *browser.PageResult) {
+				mu.Lock()
+				pages = append(pages, pageURL)
+				mu.Unlock()
+			},
+		}
+		site := Site{Domain: w.Publishers[2].Domain, Rank: 3}
+		if _, err := Crawl(context.Background(), []Site{site}, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return pages
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("page %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCrawlCancellation(t *testing.T) {
+	w, s := testEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	sites := make([]Site, 0, len(w.Publishers))
+	for _, p := range w.Publishers {
+		sites = append(sites, Site{Domain: p.Domain, Rank: p.Rank})
+	}
+	cfg := Config{
+		Workers: 2, PagesPerSite: 15, Seed: 1,
+		NewBrowser: func(worker int) *browser.Browser {
+			return browser.New(browser.Config{Version: 57, Seed: 2, HTTPClient: s.Client(), ResolveWS: s.Resolver()})
+		},
+		OnPage: func(Site, string, *browser.PageResult) {
+			once.Do(cancel) // cancel after the first page
+		},
+	}
+	start := time.Now()
+	_, err := Crawl(ctx, sites, cfg)
+	if err == nil {
+		t.Error("cancelled crawl returned nil error")
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Error("cancellation did not stop the crawl promptly")
+	}
+}
+
+func TestCrawlRequiresBrowserFactory(t *testing.T) {
+	if _, err := Crawl(context.Background(), nil, Config{}); err == nil {
+		t.Error("missing NewBrowser accepted")
+	}
+}
+
+func TestCrawlCountsErrors(t *testing.T) {
+	_, s := testEnv(t)
+	cfg := Config{
+		Workers: 1, PagesPerSite: 3, Seed: 1,
+		NewBrowser: func(worker int) *browser.Browser {
+			return browser.New(browser.Config{Version: 57, Seed: 3, HTTPClient: s.Client(), ResolveWS: s.Resolver()})
+		},
+	}
+	// A site outside the world: its homepage fetch 502s.
+	stats, err := Crawl(context.Background(), []Site{{Domain: "no-such-site.example", Rank: 1}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PageErrors == 0 {
+		t.Error("error not counted for unknown site")
+	}
+}

@@ -1,0 +1,169 @@
+package devtools
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		FrameNavigated{FrameID: "F1", URL: "http://pub.example/", Initiator: ParserInitiator("F1")},
+		ScriptParsed{ScriptID: "S1", URL: "http://pub.example/app.js", FrameID: "F1", Initiator: ParserInitiator("F1")},
+		ScriptParsed{ScriptID: "S2", URL: "http://ads.example/ads.js", FrameID: "F1", Initiator: ScriptInitiator("S1")},
+		RequestWillBeSent{RequestID: "R1", URL: "http://ads.example/ads.js", Type: ResourceScript, FrameID: "F1", Initiator: ScriptInitiator("S1"), FirstPartyURL: "http://pub.example/"},
+		ResponseReceived{RequestID: "R1", URL: "http://ads.example/ads.js", Status: 200, MimeType: "application/javascript", BodySize: 123},
+		WebSocketCreated{SocketID: "W1", URL: "ws://adnet.example/data.ws", FrameID: "F1", Initiator: ScriptInitiator("S2"), FirstPartyURL: "http://pub.example/"},
+		WebSocketWillSendHandshakeRequest{SocketID: "W1", Header: map[string]string{"Origin": "http://pub.example"}},
+		WebSocketHandshakeResponseReceived{SocketID: "W1", Status: 101},
+		WebSocketFrameSent{SocketID: "W1", Opcode: 1, Payload: []byte(`{"ua":"Mozilla/5.0"}`)},
+		WebSocketFrameReceived{SocketID: "W1", Opcode: 1, Payload: []byte(`<html>ad</html>`)},
+		WebSocketClosed{SocketID: "W1", Code: 1000},
+		RequestBlocked{RequestID: "R2", URL: "http://tracker.example/px.gif", Type: ResourceImage, FrameID: "F1", Initiator: ScriptInitiator("S2"), Extension: "adblock", Rule: "||tracker.example^"},
+	}
+}
+
+func TestEventMethods(t *testing.T) {
+	want := []string{
+		"Page.frameNavigated",
+		"Debugger.scriptParsed",
+		"Debugger.scriptParsed",
+		"Network.requestWillBeSent",
+		"Network.responseReceived",
+		"Network.webSocketCreated",
+		"Network.webSocketWillSendHandshakeRequest",
+		"Network.webSocketHandshakeResponseReceived",
+		"Network.webSocketFrameSent",
+		"Network.webSocketFrameReceived",
+		"Network.webSocketClosed",
+		"Network.requestBlocked",
+	}
+	for i, ev := range sampleEvents() {
+		if ev.Method() != want[i] {
+			t.Errorf("event %d Method = %q, want %q", i, ev.Method(), want[i])
+		}
+	}
+}
+
+func TestBusFanOut(t *testing.T) {
+	bus := NewBus()
+	var a, b []string
+	bus.Subscribe(func(ev Event) { a = append(a, ev.Method()) })
+	bus.Subscribe(func(ev Event) { b = append(b, ev.Method()) })
+	for _, ev := range sampleEvents() {
+		bus.Emit(ev)
+	}
+	if len(a) != len(sampleEvents()) || len(b) != len(sampleEvents()) {
+		t.Errorf("fan-out counts: a=%d b=%d", len(a), len(b))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("subscribers saw different event sequences")
+	}
+}
+
+func TestBusConcurrentEmit(t *testing.T) {
+	bus := NewBus()
+	var mu sync.Mutex
+	count := 0
+	bus.Subscribe(func(Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				bus.Emit(WebSocketClosed{SocketID: "W1"})
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 800 {
+		t.Errorf("count = %d, want 800", count)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	for _, ev := range sampleEvents() {
+		tr.Record(ev)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("round trip length %d, want %d", len(back.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		if !reflect.DeepEqual(tr.Events[i], back.Events[i]) {
+			t.Errorf("event %d mismatch:\n got %#v\nwant %#v", i, back.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestTraceUnknownMethod(t *testing.T) {
+	var tr Trace
+	err := json.Unmarshal([]byte(`[{"method":"Bogus.event","params":{}}]`), &tr)
+	if err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestTraceAttach(t *testing.T) {
+	bus := NewBus()
+	tr := NewTrace()
+	tr.Attach(bus)
+	bus.Emit(WebSocketClosed{SocketID: "W9"})
+	if tr.Len() != 1 {
+		t.Errorf("trace len = %d", tr.Len())
+	}
+}
+
+func TestIDAllocator(t *testing.T) {
+	var a IDAllocator
+	if a.NextFrame() != "F1" || a.NextFrame() != "F2" {
+		t.Error("frame IDs not sequential")
+	}
+	if a.NextScript() != "S1" || a.NextRequest() != "R1" || a.NextSocket() != "W1" {
+		t.Error("typed IDs wrong")
+	}
+	// Concurrent allocation must not duplicate.
+	var wg sync.WaitGroup
+	seen := make(chan SocketID, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen <- a.NextSocket()
+		}()
+	}
+	wg.Wait()
+	close(seen)
+	uniq := map[SocketID]bool{}
+	for id := range seen {
+		if uniq[id] {
+			t.Fatalf("duplicate socket ID %s", id)
+		}
+		uniq[id] = true
+	}
+}
+
+func TestInitiatorConstructors(t *testing.T) {
+	si := ScriptInitiator("S7")
+	if si.Type != "script" || si.ScriptID != "S7" || si.FrameID != "" {
+		t.Errorf("ScriptInitiator = %+v", si)
+	}
+	pi := ParserInitiator("F3")
+	if pi.Type != "parser" || pi.FrameID != "F3" || pi.ScriptID != "" {
+		t.Errorf("ParserInitiator = %+v", pi)
+	}
+}

@@ -1,0 +1,192 @@
+package filterlist
+
+import (
+	"strings"
+)
+
+// List is a compiled filter list: block rules and exception rules with a
+// literal-token index for fast candidate selection.
+type List struct {
+	// Name identifies the list (e.g. "easylist", "easyprivacy").
+	Name string
+
+	blocks     []*Rule
+	exceptions []*Rule
+
+	// blockIndex maps a literal token to the block rules containing it;
+	// blockRest holds rules with no usable token.
+	blockIndex map[string][]*Rule
+	blockRest  []*Rule
+
+	// Skipped counts lines that were comments/unsupported and ignored.
+	Skipped int
+}
+
+// NewList returns an empty named list.
+func NewList(name string) *List {
+	return &List{Name: name, blockIndex: map[string][]*Rule{}}
+}
+
+// Parse compiles filter-list text. Comment lines, element-hiding rules,
+// and rules with unsupported options are skipped (counted in Skipped),
+// matching how blockers tolerate unknown syntax.
+func Parse(name, text string) *List {
+	l := NewList(name)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if IsCommentLine(line) {
+			if line != "" {
+				l.Skipped++
+			}
+			continue
+		}
+		rule, err := ParseRule(line)
+		if err != nil {
+			l.Skipped++
+			continue
+		}
+		l.Add(rule)
+	}
+	return l
+}
+
+// Add inserts one rule into the list and its index.
+func (l *List) Add(r *Rule) {
+	if r.Exception {
+		l.exceptions = append(l.exceptions, r)
+		return
+	}
+	l.blocks = append(l.blocks, r)
+	if tok := indexToken(r.pattern); tok != "" {
+		l.blockIndex[tok] = append(l.blockIndex[tok], r)
+	} else {
+		l.blockRest = append(l.blockRest, r)
+	}
+}
+
+// Len returns the number of active (block + exception) rules.
+func (l *List) Len() int { return len(l.blocks) + len(l.exceptions) }
+
+// indexToken extracts the longest literal run (no '*', '^') of length >= 4
+// from the pattern, used as the index key.
+func indexToken(pattern string) string {
+	best := ""
+	start := 0
+	for i := 0; i <= len(pattern); i++ {
+		if i == len(pattern) || pattern[i] == '*' || pattern[i] == '^' {
+			if i-start > len(best) {
+				best = pattern[start:i]
+			}
+			start = i + 1
+		}
+	}
+	if len(best) < 4 {
+		return ""
+	}
+	return best
+}
+
+// Decision is the outcome of matching one request against a list (or a
+// set of lists).
+type Decision struct {
+	// Blocked is true when a block rule matched and no exception
+	// overrode it.
+	Blocked bool
+	// Rule is the matching block rule (also set when an exception
+	// overrode it).
+	Rule *Rule
+	// Exception is the exception rule that overrode the block, if any.
+	Exception *Rule
+	// List names the list the deciding rule came from.
+	List string
+}
+
+// Match evaluates the request: a block rule must match and no exception
+// rule may match. Exceptions are evaluated only when a block matched,
+// mirroring ABP behaviour.
+func (l *List) Match(req Request) Decision {
+	block := l.firstBlockMatch(req)
+	if block == nil {
+		return Decision{}
+	}
+	for _, ex := range l.exceptions {
+		if ex.MatchesRequest(req) {
+			return Decision{Blocked: false, Rule: block, Exception: ex, List: l.Name}
+		}
+	}
+	return Decision{Blocked: true, Rule: block, List: l.Name}
+}
+
+// firstBlockMatch returns the first matching block rule, consulting the
+// token index first.
+func (l *List) firstBlockMatch(req Request) *Rule {
+	target := strings.ToLower(req.URL.String())
+	seen := map[*Rule]bool{}
+	for tok, rules := range l.blockIndex {
+		if !strings.Contains(target, tok) {
+			continue
+		}
+		for _, r := range rules {
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			if r.MatchesRequest(req) {
+				return r
+			}
+		}
+	}
+	for _, r := range l.blockRest {
+		if r.MatchesRequest(req) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Group is an ordered collection of lists evaluated together (the paper
+// uses EasyList + EasyPrivacy). A request is blocked when any list blocks
+// it and no list's exception rule matches it.
+type Group struct {
+	Lists []*List
+}
+
+// NewGroup builds a group over the given lists.
+func NewGroup(lists ...*List) *Group { return &Group{Lists: lists} }
+
+// Match evaluates the request against every list. An exception in any
+// list protects the request from block rules in every list, matching how
+// blockers merge subscriptions.
+func (g *Group) Match(req Request) Decision {
+	var block Decision
+	for _, l := range g.Lists {
+		d := l.Match(req)
+		if d.Exception != nil {
+			return d
+		}
+		if d.Blocked && !block.Blocked {
+			block = d
+		}
+	}
+	if !block.Blocked {
+		return Decision{}
+	}
+	// A block from one list can still be excepted by another list.
+	for _, l := range g.Lists {
+		for _, ex := range l.exceptions {
+			if ex.MatchesRequest(req) {
+				return Decision{Blocked: false, Rule: block.Rule, Exception: ex, List: l.Name}
+			}
+		}
+	}
+	return block
+}
+
+// RuleCount returns the total active rules across the group.
+func (g *Group) RuleCount() int {
+	n := 0
+	for _, l := range g.Lists {
+		n += l.Len()
+	}
+	return n
+}

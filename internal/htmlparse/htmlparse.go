@@ -1,0 +1,224 @@
+// Package htmlparse is a lightweight HTML tokenizer and tree builder that
+// turns the synthetic web's pages into dom trees.
+//
+// It handles the constructs the generated pages use — nested elements,
+// attributes (quoted and bare), void elements, comments, raw-text script
+// and style bodies, doctype — and recovers from mild malformation
+// (unclosed tags, stray close tags) the way the measurement pipeline
+// needs: never failing, always producing a tree.
+package htmlparse
+
+import (
+	"strings"
+
+	"repro/internal/dom"
+)
+
+// Parse parses HTML source into a document node. Parsing is forgiving:
+// unknown constructs become text, unclosed elements are closed at EOF.
+func Parse(src string) *dom.Node {
+	p := &parser{src: src}
+	doc := dom.NewDocument()
+	p.parseChildren(doc, "")
+	return doc
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// parseChildren parses content into parent until a matching close tag for
+// enclosing (or EOF). Returns when the close tag has been consumed.
+func (p *parser) parseChildren(parent *dom.Node, enclosing string) {
+	for !p.eof() {
+		if p.peek() != '<' {
+			start := p.pos
+			idx := strings.IndexByte(p.src[p.pos:], '<')
+			if idx < 0 {
+				p.pos = len(p.src)
+			} else {
+				p.pos += idx
+			}
+			text := p.src[start:p.pos]
+			if strings.TrimSpace(text) != "" || parent.Type != dom.DocumentNode {
+				parent.AppendChild(dom.NewText(dom.UnescapeText(text)))
+			}
+			continue
+		}
+		// At '<'.
+		rest := p.src[p.pos:]
+		switch {
+		case strings.HasPrefix(rest, "<!--"):
+			end := strings.Index(rest[4:], "-->")
+			if end < 0 {
+				parent.AppendChild(dom.NewComment(rest[4:]))
+				p.pos = len(p.src)
+				return
+			}
+			parent.AppendChild(dom.NewComment(rest[4 : 4+end]))
+			p.pos += 4 + end + 3
+		case strings.HasPrefix(rest, "<!"):
+			// Doctype or other declaration: skip to '>'.
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += end + 1
+		case strings.HasPrefix(rest, "</"):
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			name := strings.ToLower(strings.TrimSpace(rest[2:end]))
+			p.pos += end + 1
+			if name == enclosing {
+				return
+			}
+			// Stray close tag: ignore it (recovery).
+		default:
+			tag, attrs, selfClose, ok := p.parseOpenTag()
+			if !ok {
+				// Bare '<' treated as text.
+				parent.AppendChild(dom.NewText("<"))
+				p.pos++
+				continue
+			}
+			el := dom.NewElement(tag)
+			for k, v := range attrs {
+				el.SetAttr(k, v)
+			}
+			parent.AppendChild(el)
+			if selfClose || dom.IsVoidElement(tag) {
+				continue
+			}
+			if tag == "script" || tag == "style" {
+				p.parseRawText(el, tag)
+				continue
+			}
+			p.parseChildren(el, tag)
+		}
+	}
+}
+
+// parseRawText consumes raw text until the matching close tag.
+func (p *parser) parseRawText(el *dom.Node, tag string) {
+	lower := strings.ToLower(p.src[p.pos:])
+	closeTag := "</" + tag
+	idx := strings.Index(lower, closeTag)
+	if idx < 0 {
+		if p.pos < len(p.src) {
+			el.AppendChild(dom.NewText(p.src[p.pos:]))
+		}
+		p.pos = len(p.src)
+		return
+	}
+	if idx > 0 {
+		el.AppendChild(dom.NewText(p.src[p.pos : p.pos+idx]))
+	}
+	p.pos += idx
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		p.pos = len(p.src)
+		return
+	}
+	p.pos += end + 1
+}
+
+// parseOpenTag parses "<tag attr=val ...>" starting at p.pos (which points
+// at '<'). Returns ok=false if this is not a well-formed open tag.
+func (p *parser) parseOpenTag() (tag string, attrs map[string]string, selfClose, ok bool) {
+	i := p.pos + 1
+	start := i
+	for i < len(p.src) && isNameByte(p.src[i]) {
+		i++
+	}
+	if i == start {
+		return "", nil, false, false
+	}
+	tag = strings.ToLower(p.src[start:i])
+	attrs = map[string]string{}
+	for {
+		for i < len(p.src) && isSpace(p.src[i]) {
+			i++
+		}
+		if i >= len(p.src) {
+			p.pos = i
+			return tag, attrs, false, true
+		}
+		switch p.src[i] {
+		case '>':
+			p.pos = i + 1
+			return tag, attrs, false, true
+		case '/':
+			i++
+			if i < len(p.src) && p.src[i] == '>' {
+				p.pos = i + 1
+				return tag, attrs, true, true
+			}
+			continue
+		}
+		// Attribute name.
+		nameStart := i
+		for i < len(p.src) && p.src[i] != '=' && p.src[i] != '>' && p.src[i] != '/' && !isSpace(p.src[i]) {
+			i++
+		}
+		name := strings.ToLower(p.src[nameStart:i])
+		if name == "" {
+			i++ // skip junk byte
+			continue
+		}
+		for i < len(p.src) && isSpace(p.src[i]) {
+			i++
+		}
+		if i >= len(p.src) || p.src[i] != '=' {
+			attrs[name] = "" // bare attribute
+			continue
+		}
+		i++ // consume '='
+		for i < len(p.src) && isSpace(p.src[i]) {
+			i++
+		}
+		if i >= len(p.src) {
+			attrs[name] = ""
+			p.pos = i
+			return tag, attrs, false, true
+		}
+		var val string
+		if q := p.src[i]; q == '"' || q == '\'' {
+			i++
+			valStart := i
+			for i < len(p.src) && p.src[i] != q {
+				i++
+			}
+			val = p.src[valStart:i]
+			if i < len(p.src) {
+				i++ // closing quote
+			}
+		} else {
+			valStart := i
+			for i < len(p.src) && !isSpace(p.src[i]) && p.src[i] != '>' {
+				i++
+			}
+			val = p.src[valStart:i]
+		}
+		attrs[name] = dom.UnescapeText(val)
+	}
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == ':'
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }

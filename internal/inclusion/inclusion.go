@@ -1,0 +1,387 @@
+// Package inclusion builds inclusion trees from devtools traces,
+// following Arshad et al. as adopted by the paper (§3.1): nodes are
+// frames, scripts, requests, and WebSockets, and each node's parent is
+// the resource that semantically caused it — a WebSocket is a child of
+// the JavaScript that constructed it (Figure 2), not of whatever URL sat
+// in the Referer header.
+//
+// The package also implements the paper's attribution queries: the
+// chain of ancestors for any socket, and whether any ancestor belongs to
+// a given domain set (the "A&A socket" test of §3.2).
+package inclusion
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/devtools"
+	"repro/internal/urlutil"
+)
+
+// Kind discriminates inclusion-tree node types.
+type Kind int
+
+// Node kinds.
+const (
+	KindFrame Kind = iota
+	KindScript
+	KindRequest
+	KindWebSocket
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFrame:
+		return "frame"
+	case KindScript:
+		return "script"
+	case KindRequest:
+		return "request"
+	case KindWebSocket:
+		return "websocket"
+	}
+	return "unknown"
+}
+
+// WSFrame is one data frame observed on a socket.
+type WSFrame struct {
+	Opcode  int
+	Payload []byte
+}
+
+// Node is one inclusion-tree node.
+type Node struct {
+	Kind Kind
+	// ID is the devtools identifier (frame/script/request/socket ID).
+	ID string
+	// URL is the resource URL.
+	URL string
+	// Type is the resource type for request nodes.
+	Type devtools.ResourceType
+	// Inline marks inline scripts.
+	Inline bool
+
+	Parent   *Node
+	Children []*Node
+
+	// Request/response annotation (request nodes).
+	Status   int
+	MimeType string
+	RespBody []byte
+	ReqBody  []byte
+	Header   map[string]string
+
+	// WebSocket annotation (socket nodes).
+	HandshakeHeader map[string]string
+	HandshakeStatus int
+	Sent            []WSFrame
+	Received        []WSFrame
+	CloseCode       int
+
+	// FirstParty is the top-level page URL at creation time.
+	FirstParty string
+}
+
+// Domain returns the node URL's registrable domain ("" if unparsable).
+func (n *Node) Domain() string {
+	u, err := urlutil.Parse(n.URL)
+	if err != nil {
+		return ""
+	}
+	return u.RegistrableDomain()
+}
+
+// Host returns the node URL's host.
+func (n *Node) Host() string {
+	u, err := urlutil.Parse(n.URL)
+	if err != nil {
+		return ""
+	}
+	return u.Host
+}
+
+// Chain returns the ancestor path from the root down to (and including)
+// this node.
+func (n *Node) Chain() []*Node {
+	var rev []*Node
+	for cur := n; cur != nil; cur = cur.Parent {
+		rev = append(rev, cur)
+	}
+	out := make([]*Node, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Walk visits the subtree in depth-first order.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if !fn(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tree is one page load's inclusion tree.
+type Tree struct {
+	// Root is the top-level frame node.
+	Root *Node
+	// PageURL is the top-level document URL.
+	PageURL string
+
+	frames  map[devtools.FrameID]*Node
+	scripts map[devtools.ScriptID]*Node
+	reqs    map[devtools.RequestID]*Node
+	sockets map[devtools.SocketID]*Node
+
+	// Blocked holds request nodes cancelled by extensions (attached to
+	// the tree like ordinary requests, flagged by Status == -1).
+	Blocked []*Node
+}
+
+// Sockets returns all WebSocket nodes in creation order.
+func (t *Tree) Sockets() []*Node {
+	var out []*Node
+	t.Root.Walk(func(n *Node) bool {
+		if n.Kind == KindWebSocket {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// Requests returns all HTTP request nodes in creation order.
+func (t *Tree) Requests() []*Node {
+	var out []*Node
+	t.Root.Walk(func(n *Node) bool {
+		if n.Kind == KindRequest {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// Build replays a devtools trace into an inclusion tree. It returns an
+// error on traces that reference unknown parents, which indicates an
+// instrumentation bug.
+func Build(trace *devtools.Trace) (*Tree, error) {
+	t := &Tree{
+		frames:  map[devtools.FrameID]*Node{},
+		scripts: map[devtools.ScriptID]*Node{},
+		reqs:    map[devtools.RequestID]*Node{},
+		sockets: map[devtools.SocketID]*Node{},
+	}
+	for i, ev := range trace.Events {
+		if err := t.apply(ev); err != nil {
+			return nil, fmt.Errorf("inclusion: event %d (%s): %w", i, ev.Method(), err)
+		}
+	}
+	if t.Root == nil {
+		return nil, fmt.Errorf("inclusion: trace has no top-level frame")
+	}
+	return t, nil
+}
+
+// parentFor resolves an initiator to its tree node.
+func (t *Tree) parentFor(init devtools.Initiator, frame devtools.FrameID) (*Node, error) {
+	if init.Type == "script" {
+		if n, ok := t.scripts[init.ScriptID]; ok {
+			return n, nil
+		}
+		return nil, fmt.Errorf("unknown initiator script %s", init.ScriptID)
+	}
+	id := init.FrameID
+	if id == "" {
+		id = frame
+	}
+	if n, ok := t.frames[id]; ok {
+		return n, nil
+	}
+	return nil, fmt.Errorf("unknown initiator frame %s", id)
+}
+
+func attach(parent, child *Node) {
+	child.Parent = parent
+	parent.Children = append(parent.Children, child)
+}
+
+func (t *Tree) apply(ev devtools.Event) error {
+	switch ev := ev.(type) {
+	case devtools.FrameNavigated:
+		n := &Node{Kind: KindFrame, ID: string(ev.FrameID), URL: ev.URL}
+		if ev.ParentFrameID == "" {
+			if t.Root != nil {
+				return fmt.Errorf("second top-level frame %s", ev.FrameID)
+			}
+			t.Root = n
+			t.PageURL = ev.URL
+		} else {
+			parent, err := t.parentFor(ev.Initiator, ev.ParentFrameID)
+			if err != nil {
+				return err
+			}
+			attach(parent, n)
+		}
+		t.frames[ev.FrameID] = n
+
+	case devtools.ScriptParsed:
+		parent, err := t.parentFor(ev.Initiator, ev.FrameID)
+		if err != nil {
+			return err
+		}
+		n := &Node{Kind: KindScript, ID: string(ev.ScriptID), URL: ev.URL, Inline: ev.Inline}
+		attach(parent, n)
+		t.scripts[ev.ScriptID] = n
+
+	case devtools.RequestWillBeSent:
+		parent, err := t.parentFor(ev.Initiator, ev.FrameID)
+		if err != nil {
+			return err
+		}
+		n := &Node{
+			Kind: KindRequest, ID: string(ev.RequestID), URL: ev.URL,
+			Type: ev.Type, Header: ev.Header, ReqBody: ev.Body, FirstParty: ev.FirstPartyURL,
+		}
+		attach(parent, n)
+		t.reqs[ev.RequestID] = n
+
+	case devtools.ResponseReceived:
+		if n, ok := t.reqs[ev.RequestID]; ok {
+			n.Status = ev.Status
+			n.MimeType = ev.MimeType
+			n.RespBody = ev.Body
+		}
+
+	case devtools.RequestBlocked:
+		parent, err := t.parentFor(ev.Initiator, ev.FrameID)
+		if err != nil {
+			return err
+		}
+		n := &Node{
+			Kind: KindRequest, ID: string(ev.RequestID), URL: ev.URL,
+			Type: ev.Type, Status: -1,
+		}
+		attach(parent, n)
+		t.Blocked = append(t.Blocked, n)
+
+	case devtools.WebSocketCreated:
+		parent, err := t.parentFor(ev.Initiator, ev.FrameID)
+		if err != nil {
+			return err
+		}
+		n := &Node{
+			Kind: KindWebSocket, ID: string(ev.SocketID), URL: ev.URL,
+			Type: devtools.ResourceWebSocket, FirstParty: ev.FirstPartyURL,
+		}
+		attach(parent, n)
+		t.sockets[ev.SocketID] = n
+
+	case devtools.WebSocketWillSendHandshakeRequest:
+		if n, ok := t.sockets[ev.SocketID]; ok {
+			n.HandshakeHeader = ev.Header
+		}
+	case devtools.WebSocketHandshakeResponseReceived:
+		if n, ok := t.sockets[ev.SocketID]; ok {
+			n.HandshakeStatus = ev.Status
+		}
+	case devtools.WebSocketFrameSent:
+		if n, ok := t.sockets[ev.SocketID]; ok {
+			n.Sent = append(n.Sent, WSFrame{Opcode: ev.Opcode, Payload: ev.Payload})
+		}
+	case devtools.WebSocketFrameReceived:
+		if n, ok := t.sockets[ev.SocketID]; ok {
+			n.Received = append(n.Received, WSFrame{Opcode: ev.Opcode, Payload: ev.Payload})
+		}
+	case devtools.WebSocketClosed:
+		if n, ok := t.sockets[ev.SocketID]; ok {
+			n.CloseCode = ev.Code
+		}
+	}
+	return nil
+}
+
+// InitiatorDomain returns the registrable domain of a socket's direct
+// parent resource (the script that created it, or the frame document for
+// parser-attributed sockets). This is the "initiator" of Tables 2 and 4.
+func InitiatorDomain(sock *Node) string {
+	if sock.Parent == nil {
+		return ""
+	}
+	return sock.Parent.Domain()
+}
+
+// ReceiverDomain returns the registrable domain of the socket endpoint
+// (the "receiver" of Tables 3 and 4).
+func ReceiverDomain(sock *Node) string { return sock.Domain() }
+
+// ChainDomains returns the registrable domains along the socket's
+// ancestor chain, root first, excluding the socket itself.
+func ChainDomains(sock *Node) []string {
+	chain := sock.Chain()
+	var out []string
+	for _, n := range chain[:len(chain)-1] {
+		if d := n.Domain(); d != "" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AnyAncestorIn reports whether any ancestor resource (excluding the
+// node itself) has a registrable domain in the set — the §3.2 rule for
+// calling a socket "included by an A&A resource".
+func AnyAncestorIn(n *Node, domains map[string]bool) bool {
+	for cur := n.Parent; cur != nil; cur = cur.Parent {
+		if domains[cur.Domain()] {
+			return true
+		}
+	}
+	return false
+}
+
+// CrossOrigin reports whether the socket endpoint is third-party
+// relative to the page (the >90% statistic of §4.1).
+func CrossOrigin(sock *Node) bool {
+	page, err := urlutil.Parse(sock.FirstParty)
+	if err != nil {
+		return false
+	}
+	return urlutil.IsThirdParty(page.Host, sock.Host())
+}
+
+// RenderASCII renders the tree in the style of the paper's Figure 2, one
+// node per line with box-drawing indentation.
+func (t *Tree) RenderASCII() string {
+	var b strings.Builder
+	var walk func(n *Node, prefix string, last bool)
+	walk = func(n *Node, prefix string, last bool) {
+		connector := "├─ "
+		childPrefix := prefix + "│  "
+		if last {
+			connector = "└─ "
+			childPrefix = prefix + "   "
+		}
+		if n.Parent == nil {
+			connector = ""
+			childPrefix = ""
+		}
+		label := n.URL
+		if label == "" {
+			label = "(" + n.Kind.String() + ")"
+		}
+		fmt.Fprintf(&b, "%s%s[%s] %s\n", prefix, connector, n.Kind, label)
+		for i, c := range n.Children {
+			walk(c, childPrefix, i == len(n.Children)-1)
+		}
+	}
+	walk(t.Root, "", true)
+	return b.String()
+}

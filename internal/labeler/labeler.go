@@ -1,0 +1,233 @@
+// Package labeler derives the A&A (advertising & analytics) domain set
+// D′ the way §3.2 of the paper does: every observed resource is tagged
+// A&A or non-A&A by matching it against EasyList and EasyPrivacy, tag
+// counts are aggregated per 2nd-level domain, and a domain enters D′
+// when a(d) ≥ 0.1 · n(d) — the 10% threshold that filters false
+// positives.
+//
+// It also implements the paper's Cloudfront handling: opaque CDN hosts
+// that serve A&A scripts are detected by chain adjacency and mapped to
+// their owning company through a manual table.
+package labeler
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/devtools"
+	"repro/internal/filterlist"
+	"repro/internal/inclusion"
+	"repro/internal/urlutil"
+)
+
+// Labeler accumulates per-domain A&A observations.
+type Labeler struct {
+	group *filterlist.Group
+
+	mu     sync.Mutex
+	aa     map[string]int // a(d)
+	non    map[string]int // n(d)
+	cdnMap map[string]string
+
+	// cdnCandidates counts how often an opaque CDN host appears
+	// adjacent to an A&A-tagged resource in an inclusion chain.
+	cdnCandidates map[string]int
+}
+
+// New builds a labeler over the given rule lists (the paper uses
+// EasyList and EasyPrivacy).
+func New(lists ...*filterlist.List) *Labeler {
+	return &Labeler{
+		group:         filterlist.NewGroup(lists...),
+		aa:            map[string]int{},
+		non:           map[string]int{},
+		cdnMap:        map[string]string{},
+		cdnCandidates: map[string]int{},
+	}
+}
+
+// SetCDNMap installs the manual CDN-host-to-company mapping (the 13
+// Cloudfront domains of §3.2).
+func (l *Labeler) SetCDNMap(m map[string]string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for k, v := range m {
+		l.cdnMap[strings.ToLower(k)] = v
+	}
+}
+
+// MapDomain resolves a host to the 2nd-level domain used for counting,
+// applying the CDN mapping first.
+func (l *Labeler) MapDomain(host string) string {
+	l.mu.Lock()
+	mapped, ok := l.cdnMap[strings.ToLower(host)]
+	l.mu.Unlock()
+	if ok {
+		return mapped
+	}
+	return urlutil.RegistrableDomain(host)
+}
+
+// opaqueCDNSuffixes are shared-CDN suffixes whose subdomains carry no
+// company identity of their own.
+var opaqueCDNSuffixes = []string{".cloudfront.net"}
+
+// isOpaqueCDNHost reports whether the host is an anonymous shared-CDN
+// host needing manual mapping.
+func isOpaqueCDNHost(host string) bool {
+	for _, suf := range opaqueCDNSuffixes {
+		if strings.HasSuffix(host, suf) && host != suf[1:] {
+			return true
+		}
+	}
+	return false
+}
+
+// ObserveTree tags every request in a page's inclusion tree and updates
+// the per-domain counts. It also records CDN adjacency candidates.
+func (l *Labeler) ObserveTree(t *inclusion.Tree) {
+	pageHost := ""
+	if u, err := urlutil.Parse(t.PageURL); err == nil {
+		pageHost = u.Host
+	}
+	var prevDomainAA bool
+	var prevHost string
+	for _, req := range t.Requests() {
+		u, err := urlutil.Parse(req.URL)
+		if err != nil {
+			continue
+		}
+		d := l.group.Match(filterlist.Request{URL: u, Type: req.Type, PageHost: pageHost})
+		l.Observe(u.Host, d.Blocked)
+
+		// Cloudfront adjacency: an opaque CDN host immediately before
+		// or after an A&A resource in load order is a candidate for
+		// manual mapping.
+		host := u.Host
+		if isOpaqueCDNHost(host) && prevDomainAA {
+			l.addCDNCandidate(host)
+		}
+		if isOpaqueCDNHost(prevHost) && d.Blocked {
+			l.addCDNCandidate(prevHost)
+		}
+		prevDomainAA = d.Blocked
+		prevHost = host
+	}
+}
+
+func (l *Labeler) addCDNCandidate(host string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cdnCandidates[host]++
+}
+
+// Observe records one resource observation: host plus whether the
+// filter lists tagged it A&A.
+func (l *Labeler) Observe(host string, isAA bool) {
+	d := l.MapDomain(host)
+	if d == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if isAA {
+		l.aa[d]++
+	} else {
+		l.non[d]++
+	}
+}
+
+// Threshold is the a(d) ≥ Threshold · n(d) cutoff from §3.2.
+const Threshold = 0.1
+
+// Domains returns D′: every domain whose A&A observations meet the
+// threshold.
+func (l *Labeler) Domains() map[string]bool {
+	return l.DomainsAtThreshold(Threshold)
+}
+
+// DomainsAtThreshold computes D′ under an alternative threshold, for
+// the ablation benchmarks.
+func (l *Labeler) DomainsAtThreshold(threshold float64) map[string]bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := map[string]bool{}
+	for d, a := range l.aa {
+		if a == 0 {
+			continue
+		}
+		if float64(a) >= threshold*float64(l.non[d]) {
+			out[d] = true
+		}
+	}
+	return out
+}
+
+// Counts returns (a(d), n(d)) for a domain.
+func (l *Labeler) Counts(domain string) (aa, non int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.aa[domain], l.non[domain]
+}
+
+// CDNCandidates lists opaque CDN hosts observed adjacent to A&A
+// resources, most frequent first — the list a human (or the world's
+// ground-truth map) turns into SetCDNMap input.
+func (l *Labeler) CDNCandidates() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	hosts := make([]string, 0, len(l.cdnCandidates))
+	for h := range l.cdnCandidates {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool {
+		if l.cdnCandidates[hosts[i]] != l.cdnCandidates[hosts[j]] {
+			return l.cdnCandidates[hosts[i]] > l.cdnCandidates[hosts[j]]
+		}
+		return hosts[i] < hosts[j]
+	})
+	return hosts
+}
+
+// MatchChain reports whether any resource along the chain (script URLs
+// and the final node) would have been blocked by the lists — the
+// post-hoc analysis of §4.2 (footnote 2 caveats apply there too).
+func (l *Labeler) MatchChain(chain []*inclusion.Node, pageHost string) bool {
+	for _, n := range chain {
+		if n.Kind != inclusion.KindScript && n.Kind != inclusion.KindRequest && n.Kind != inclusion.KindWebSocket {
+			continue
+		}
+		u, err := urlutil.Parse(n.URL)
+		if err != nil {
+			continue
+		}
+		typ := n.Type
+		if n.Kind == inclusion.KindScript {
+			typ = devtools.ResourceScript
+		}
+		if l.group.Match(filterlist.Request{URL: u, Type: typ, PageHost: pageHost}).Blocked {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchURLs is MatchChain over bare URL strings with the given types,
+// used when only compact records survive (dataset replay).
+func (l *Labeler) MatchURLs(urls []string, types []devtools.ResourceType, pageHost string) bool {
+	for i, raw := range urls {
+		u, err := urlutil.Parse(raw)
+		if err != nil {
+			continue
+		}
+		typ := devtools.ResourceScript
+		if i < len(types) {
+			typ = types[i]
+		}
+		if l.group.Match(filterlist.Request{URL: u, Type: typ, PageHost: pageHost}).Blocked {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,202 @@
+package labeler
+
+import (
+	"testing"
+
+	"repro/internal/devtools"
+	"repro/internal/filterlist"
+	"repro/internal/inclusion"
+)
+
+func testLists() (*filterlist.List, *filterlist.List) {
+	easylist := filterlist.Parse("easylist", `
+||adnet.example^$third-party
+||fullad.example^
+`)
+	easyprivacy := filterlist.Parse("easyprivacy", `
+||partial.example/track/
+`)
+	return easylist, easyprivacy
+}
+
+func TestThresholdRule(t *testing.T) {
+	el, ep := testLists()
+	l := New(el, ep)
+
+	// adnet: labeled on every observation -> in D'.
+	for i := 0; i < 10; i++ {
+		l.Observe("cdn.adnet.example", true)
+	}
+	// partial: 2 A&A of 12 observations (16.7%) -> in D'.
+	for i := 0; i < 10; i++ {
+		l.Observe("partial.example", false)
+	}
+	l.Observe("partial.example", true)
+	l.Observe("partial.example", true)
+	// rare: 1 A&A of 25 (4%) -> out.
+	for i := 0; i < 24; i++ {
+		l.Observe("rare.example", false)
+	}
+	l.Observe("rare.example", true)
+	// clean: never labeled -> out.
+	l.Observe("clean.example", false)
+
+	d := l.Domains()
+	if !d["adnet.example"] {
+		t.Error("adnet.example missing from D'")
+	}
+	if !d["partial.example"] {
+		t.Error("partial.example (16.7%) missing from D'")
+	}
+	if d["rare.example"] {
+		t.Error("rare.example (4%) wrongly in D'")
+	}
+	if d["clean.example"] {
+		t.Error("clean.example wrongly in D'")
+	}
+
+	// Threshold ablation: at 0%, any single A&A observation suffices.
+	d0 := l.DomainsAtThreshold(0.0001)
+	if !d0["rare.example"] {
+		t.Error("rare.example missing at near-zero threshold")
+	}
+	// At 50%, partial.example falls out.
+	d50 := l.DomainsAtThreshold(0.5)
+	if d50["partial.example"] {
+		t.Error("partial.example present at 50% threshold")
+	}
+}
+
+func TestSecondLevelAggregation(t *testing.T) {
+	el, ep := testLists()
+	l := New(el, ep)
+	l.Observe("x.adnet.example", true)
+	l.Observe("y.adnet.example", true)
+	aa, non := l.Counts("adnet.example")
+	if aa != 2 || non != 0 {
+		t.Errorf("counts = (%d, %d), want (2, 0)", aa, non)
+	}
+}
+
+func TestCDNMapping(t *testing.T) {
+	el, ep := testLists()
+	l := New(el, ep)
+	l.SetCDNMap(map[string]string{"d10lpsik1i8c69.cloudfront.net": "luckyorange.com"})
+	if got := l.MapDomain("d10lpsik1i8c69.cloudfront.net"); got != "luckyorange.com" {
+		t.Errorf("MapDomain = %q", got)
+	}
+	if got := l.MapDomain("other.cloudfront.net"); got != "cloudfront.net" {
+		t.Errorf("unmapped CDN host = %q", got)
+	}
+	l.Observe("d10lpsik1i8c69.cloudfront.net", true)
+	if aa, _ := l.Counts("luckyorange.com"); aa != 1 {
+		t.Error("mapped observation not credited to company")
+	}
+}
+
+func buildTree(t *testing.T) *inclusion.Tree {
+	t.Helper()
+	tr := devtools.NewTrace()
+	events := []devtools.Event{
+		devtools.FrameNavigated{FrameID: "F1", URL: "http://pub.example/", Initiator: devtools.ParserInitiator("F1")},
+		devtools.ScriptParsed{ScriptID: "S1", URL: "http://pub.example/app.js", FrameID: "F1", Initiator: devtools.ParserInitiator("F1")},
+		// A&A script request (matches easylist).
+		devtools.RequestWillBeSent{RequestID: "R1", URL: "http://cdn.adnet.example/w.js", Type: devtools.ResourceScript, FrameID: "F1", Initiator: devtools.ScriptInitiator("S1"), FirstPartyURL: "http://pub.example/"},
+		devtools.ScriptParsed{ScriptID: "S2", URL: "http://cdn.adnet.example/w.js", FrameID: "F1", Initiator: devtools.ScriptInitiator("S1")},
+		// Clean request from the A&A script.
+		devtools.RequestWillBeSent{RequestID: "R2", URL: "http://benign.example/lib.js", Type: devtools.ResourceScript, FrameID: "F1", Initiator: devtools.ScriptInitiator("S2"), FirstPartyURL: "http://pub.example/"},
+		// Opaque CDN host right after the A&A request.
+		devtools.RequestWillBeSent{RequestID: "R3", URL: "http://dabc123.cloudfront.net/t.js", Type: devtools.ResourceScript, FrameID: "F1", Initiator: devtools.ScriptInitiator("S1"), FirstPartyURL: "http://pub.example/"},
+		// Socket from the A&A script.
+		devtools.WebSocketCreated{SocketID: "W1", URL: "ws://partial.example/ws", FrameID: "F1", Initiator: devtools.ScriptInitiator("S2"), FirstPartyURL: "http://pub.example/"},
+	}
+	for _, ev := range events {
+		tr.Record(ev)
+	}
+	tree, err := inclusion.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestObserveTree(t *testing.T) {
+	el, ep := testLists()
+	l := New(el, ep)
+	tree := buildTree(t)
+	l.ObserveTree(tree)
+	if aa, _ := l.Counts("adnet.example"); aa != 1 {
+		t.Errorf("adnet a(d) = %d", aa)
+	}
+	if _, non := l.Counts("benign.example"); non != 1 {
+		t.Errorf("benign n(d) = %d", non)
+	}
+}
+
+func TestCDNAdjacencyCandidates(t *testing.T) {
+	el, ep := testLists()
+	l := New(el, ep)
+	tree := buildTree(t)
+	l.ObserveTree(tree)
+	// dabc123.cloudfront.net followed the blocked adnet request? It
+	// followed a benign one; adjacency is order-sensitive, so build a
+	// direct sequence: A&A then CDN.
+	l.ObserveTree(tree)
+	cands := l.CDNCandidates()
+	// R2 (benign) sits between R1 (A&A) and R3 (CDN), so no adjacency
+	// here; craft one explicitly.
+	tr := devtools.NewTrace()
+	tr.Record(devtools.FrameNavigated{FrameID: "F1", URL: "http://pub.example/", Initiator: devtools.ParserInitiator("F1")})
+	tr.Record(devtools.RequestWillBeSent{RequestID: "R1", URL: "http://cdn.adnet.example/w.js", Type: devtools.ResourceScript, FrameID: "F1", Initiator: devtools.ParserInitiator("F1"), FirstPartyURL: "http://pub.example/"})
+	tr.Record(devtools.RequestWillBeSent{RequestID: "R2", URL: "http://dxyz9.cloudfront.net/t.js", Type: devtools.ResourceScript, FrameID: "F1", Initiator: devtools.ParserInitiator("F1"), FirstPartyURL: "http://pub.example/"})
+	tree2, err := inclusion.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ObserveTree(tree2)
+	cands = l.CDNCandidates()
+	found := false
+	for _, c := range cands {
+		if c == "dxyz9.cloudfront.net" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("adjacent cloudfront host not flagged; candidates = %v", cands)
+	}
+}
+
+func TestMatchChain(t *testing.T) {
+	el, ep := testLists()
+	l := New(el, ep)
+	tree := buildTree(t)
+	ws := tree.Sockets()[0]
+	// The chain passes through cdn.adnet.example/w.js, which easylist
+	// blocks.
+	if !l.MatchChain(ws.Chain(), "pub.example") {
+		t.Error("chain through blocked script not flagged")
+	}
+	// A chain of clean URLs is not flagged.
+	reqs := tree.Requests()
+	var clean *inclusion.Node
+	for _, r := range reqs {
+		if r.URL == "http://benign.example/lib.js" {
+			clean = r
+		}
+	}
+	// benign.example chain passes through adnet's script too -> blocked.
+	if !l.MatchChain(clean.Chain(), "pub.example") {
+		t.Error("chain through A&A parent script not flagged")
+	}
+}
+
+func TestMatchURLs(t *testing.T) {
+	el, ep := testLists()
+	l := New(el, ep)
+	if !l.MatchURLs([]string{"http://pub.example/", "http://cdn.adnet.example/w.js"}, nil, "pub.example") {
+		t.Error("MatchURLs missed blocked script")
+	}
+	if l.MatchURLs([]string{"http://pub.example/", "http://benign.example/x.js"}, nil, "pub.example") {
+		t.Error("MatchURLs false positive")
+	}
+}

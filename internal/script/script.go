@@ -1,0 +1,173 @@
+// Package script defines the behaviour DSL embedded in the synthetic
+// web's JavaScript files.
+//
+// The paper's inclusion trees only need to know which resource caused
+// which request, so instead of a JavaScript VM the synthetic browser
+// executes small declarative programs carried inside otherwise ordinary
+// .js bodies. Each program is a list of operations — include another
+// script, open a WebSocket and exchange messages, load an image, fire an
+// XHR beacon, insert an iframe — that reproduce the dynamic inclusion
+// chains (publisher script → ad network script → tracker WebSocket) the
+// paper attributes.
+//
+// A program travels as a marker comment plus a JSON literal:
+//
+//	/* wsrepro-script v1 */
+//	var __program = {"ops":[{"do":"open_websocket","url":"ws://..."}]};
+//
+// so the wire format still looks like JavaScript to the HTTP layer and
+// content classifiers.
+package script
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Marker identifies script bodies that carry a program.
+const Marker = "/* wsrepro-script v1 */"
+
+// Op kinds.
+const (
+	OpIncludeScript = "include_script"
+	OpOpenWebSocket = "open_websocket"
+	OpLoadImage     = "load_image"
+	OpHTTPBeacon    = "http_beacon"
+	OpInsertIframe  = "insert_iframe"
+)
+
+// MessageSpec describes one WebSocket message (or HTTP beacon body) the
+// executing script sends. Kinds name the data categories from the paper's
+// Table 5 ("ua", "cookie", "ip", "userid", "device", "screen", "browser",
+// "viewport", "scroll", "orientation", "firstseen", "resolution",
+// "language", "dom", "binary"); the browser's payload synthesizer turns
+// them into realistic content.
+type MessageSpec struct {
+	// Kinds lists the data categories bundled into this message.
+	Kinds []string `json:"kinds,omitempty"`
+	// Binary requests a binary (opcode 2) frame.
+	Binary bool `json:"binary,omitempty"`
+	// Text carries verbatim content instead of synthesized kinds.
+	Text string `json:"text,omitempty"`
+}
+
+// Op is one operation of a program.
+type Op struct {
+	// Do selects the operation kind.
+	Do string `json:"do"`
+	// URL is the operation's target (script/image/beacon/iframe URL or
+	// ws:// endpoint).
+	URL string `json:"url,omitempty"`
+	// Send lists messages to send after a WebSocket opens (or the body
+	// of an http_beacon).
+	Send []MessageSpec `json:"send,omitempty"`
+	// Expect is the number of server messages to read before closing a
+	// WebSocket.
+	Expect int `json:"expect,omitempty"`
+	// SendCookie asks the browser to attach its cookie for the target
+	// domain to the request or handshake.
+	SendCookie bool `json:"sendCookie,omitempty"`
+}
+
+// Program is an executable script behaviour.
+type Program struct {
+	Ops []Op `json:"ops"`
+}
+
+// Validate checks structural invariants: known op kinds, URLs present
+// where required, WebSocket ops targeting ws/wss URLs.
+func (p *Program) Validate() error {
+	for i, op := range p.Ops {
+		switch op.Do {
+		case OpIncludeScript, OpLoadImage, OpHTTPBeacon, OpInsertIframe:
+			if op.URL == "" {
+				return fmt.Errorf("script: op %d (%s): missing url", i, op.Do)
+			}
+		case OpOpenWebSocket:
+			if op.URL == "" {
+				return fmt.Errorf("script: op %d (%s): missing url", i, op.Do)
+			}
+			if !strings.HasPrefix(op.URL, "ws://") && !strings.HasPrefix(op.URL, "wss://") {
+				return fmt.Errorf("script: op %d: open_websocket url %q is not ws/wss", i, op.URL)
+			}
+		default:
+			return fmt.Errorf("script: op %d: unknown kind %q", i, op.Do)
+		}
+	}
+	return nil
+}
+
+// Encode renders the program as a JavaScript-looking body with some
+// camouflage boilerplate so content classifiers see realistic scripts.
+func (p *Program) Encode() (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return "", fmt.Errorf("script: encode: %w", err)
+	}
+	var b strings.Builder
+	b.WriteString(Marker)
+	b.WriteString("\n(function(){\"use strict\";\n")
+	b.WriteString("var __program = ")
+	b.Write(data)
+	b.WriteString(";\n__run(__program);\n})();\n")
+	return b.String(), nil
+}
+
+// MustEncode is Encode, panicking on error; for generator tables.
+func (p *Program) MustEncode() string {
+	s, err := p.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Decode extracts and validates the program from a script body. Bodies
+// without the marker yield (nil, nil): they are plain scripts with no
+// behaviour, which is not an error.
+func Decode(body string) (*Program, error) {
+	if !strings.Contains(body, Marker) {
+		return nil, nil
+	}
+	const assign = "var __program = "
+	i := strings.Index(body, assign)
+	if i < 0 {
+		return nil, fmt.Errorf("script: marker present but no program assignment")
+	}
+	rest := body[i+len(assign):]
+	end := strings.Index(rest, ";\n")
+	if end < 0 {
+		return nil, fmt.Errorf("script: unterminated program literal")
+	}
+	var p Program
+	if err := json.Unmarshal([]byte(rest[:end]), &p); err != nil {
+		return nil, fmt.Errorf("script: decode program: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Include returns an include_script op.
+func Include(url string) Op { return Op{Do: OpIncludeScript, URL: url} }
+
+// OpenWS returns an open_websocket op.
+func OpenWS(url string, send []MessageSpec, expect int) Op {
+	return Op{Do: OpOpenWebSocket, URL: url, Send: send, Expect: expect}
+}
+
+// Image returns a load_image op.
+func Image(url string) Op { return Op{Do: OpLoadImage, URL: url} }
+
+// Beacon returns an http_beacon op.
+func Beacon(url string, send []MessageSpec) Op {
+	return Op{Do: OpHTTPBeacon, URL: url, Send: send}
+}
+
+// Iframe returns an insert_iframe op.
+func Iframe(url string) Op { return Op{Do: OpInsertIframe, URL: url} }

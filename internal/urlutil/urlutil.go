@@ -1,0 +1,211 @@
+// Package urlutil provides URL and domain-name helpers used throughout the
+// measurement pipeline: scheme classification, registrable ("2nd-level")
+// domain extraction, and origin/party comparisons.
+//
+// The paper aggregates hosts by their 2nd-level domain (for example both
+// x.doubleclick.net and y.doubleclick.net count as doubleclick.net), so the
+// registrable-domain logic here is the foundation of every table.
+package urlutil
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// URL is a parsed absolute URL. It wraps the standard library parser with
+// the accessors the pipeline needs (registrable domain, origin, WebSocket
+// scheme detection) precomputed.
+type URL struct {
+	// Raw is the original string the URL was parsed from.
+	Raw string
+	// Scheme is the lower-cased scheme ("http", "https", "ws", "wss").
+	Scheme string
+	// Host is the lower-cased host without port.
+	Host string
+	// Port is the explicit port, or "" if none was given.
+	Port string
+	// Path is the path component ("/" if empty).
+	Path string
+	// Query is the raw query string without the leading "?".
+	Query string
+}
+
+// Parse parses an absolute URL. It rejects relative references and URLs
+// without a host, since every resource in a crawl trace must be absolute.
+func Parse(raw string) (*URL, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("urlutil: parse %q: %w", raw, err)
+	}
+	if u.Scheme == "" {
+		return nil, fmt.Errorf("urlutil: parse %q: missing scheme", raw)
+	}
+	if u.Hostname() == "" {
+		return nil, fmt.Errorf("urlutil: parse %q: missing host", raw)
+	}
+	p := u.EscapedPath()
+	if p == "" {
+		p = "/"
+	}
+	return &URL{
+		Raw:    raw,
+		Scheme: strings.ToLower(u.Scheme),
+		Host:   strings.ToLower(u.Hostname()),
+		Port:   u.Port(),
+		Path:   p,
+		Query:  u.RawQuery,
+	}, nil
+}
+
+// MustParse is Parse but panics on error. It is intended for static URLs in
+// generators and tests.
+func MustParse(raw string) *URL {
+	u, err := Parse(raw)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// String reassembles the URL.
+func (u *URL) String() string {
+	var b strings.Builder
+	b.WriteString(u.Scheme)
+	b.WriteString("://")
+	b.WriteString(u.Host)
+	if u.Port != "" {
+		b.WriteByte(':')
+		b.WriteString(u.Port)
+	}
+	b.WriteString(u.Path)
+	if u.Query != "" {
+		b.WriteByte('?')
+		b.WriteString(u.Query)
+	}
+	return b.String()
+}
+
+// IsWebSocket reports whether the URL uses the ws or wss scheme.
+func (u *URL) IsWebSocket() bool { return u.Scheme == "ws" || u.Scheme == "wss" }
+
+// IsSecure reports whether the URL uses a TLS-carrying scheme.
+func (u *URL) IsSecure() bool { return u.Scheme == "https" || u.Scheme == "wss" }
+
+// RegistrableDomain returns the 2nd-level (registrable) domain of the host.
+func (u *URL) RegistrableDomain() string { return RegistrableDomain(u.Host) }
+
+// Origin returns the scheme://host[:port] origin of the URL.
+func (u *URL) Origin() string {
+	if u.Port != "" {
+		return u.Scheme + "://" + u.Host + ":" + u.Port
+	}
+	return u.Scheme + "://" + u.Host
+}
+
+// HostPort returns host:port, inferring the default port for the scheme
+// when no explicit port was present.
+func (u *URL) HostPort() string {
+	port := u.Port
+	if port == "" {
+		switch u.Scheme {
+		case "http", "ws":
+			port = "80"
+		case "https", "wss":
+			port = "443"
+		default:
+			port = "0"
+		}
+	}
+	return u.Host + ":" + port
+}
+
+// multiLabelSuffixes lists public suffixes that consume two labels. The
+// real web uses the full Public Suffix List; this subset covers every
+// suffix the synthetic ecosystem and the paper's domains use.
+var multiLabelSuffixes = map[string]bool{
+	"co.uk":  true,
+	"org.uk": true,
+	"ac.uk":  true,
+	"gov.uk": true,
+	"com.au": true,
+	"net.au": true,
+	"org.au": true,
+	"co.jp":  true,
+	"ne.jp":  true,
+	"or.jp":  true,
+	"com.br": true,
+	"com.cn": true,
+	"com.mx": true,
+	"co.in":  true,
+	"co.nz":  true,
+	"co.za":  true,
+}
+
+// RegistrableDomain returns the registrable ("2nd-level") domain for a
+// host: the public suffix plus one label. Hosts that are themselves a
+// suffix, a single label, or an IP literal are returned unchanged.
+func RegistrableDomain(host string) string {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	if host == "" || isIPLiteral(host) {
+		return host
+	}
+	labels := strings.Split(host, ".")
+	if len(labels) < 2 {
+		return host
+	}
+	// Check for a two-label public suffix (e.g. co.uk): registrable
+	// domain is then the last three labels.
+	if len(labels) >= 3 {
+		tail2 := strings.Join(labels[len(labels)-2:], ".")
+		if multiLabelSuffixes[tail2] {
+			return strings.Join(labels[len(labels)-3:], ".")
+		}
+	}
+	if multiLabelSuffixes[strings.Join(labels[len(labels)-2:], ".")] {
+		// Host is exactly a multi-label suffix.
+		return host
+	}
+	return strings.Join(labels[len(labels)-2:], ".")
+}
+
+func isIPLiteral(host string) bool {
+	if strings.HasPrefix(host, "[") {
+		return true // IPv6 literal
+	}
+	dots := 0
+	for i := 0; i < len(host); i++ {
+		c := host[i]
+		switch {
+		case c == '.':
+			dots++
+		case c < '0' || c > '9':
+			return false
+		}
+	}
+	return dots == 3
+}
+
+// SameParty reports whether two hosts share a registrable domain, i.e.
+// whether a request between them is first-party.
+func SameParty(hostA, hostB string) bool {
+	return RegistrableDomain(hostA) == RegistrableDomain(hostB)
+}
+
+// IsThirdParty reports whether resourceHost is third-party relative to the
+// top-level page host, per the paper's cross-origin socket definition.
+func IsThirdParty(pageHost, resourceHost string) bool {
+	return !SameParty(pageHost, resourceHost)
+}
+
+// Subdomain reports whether host is host itself, or a dot-separated
+// subdomain of domain (the matching rule used by Adblock Plus "||" anchors
+// and $domain options).
+func Subdomain(host, domain string) bool {
+	host = strings.ToLower(host)
+	domain = strings.ToLower(domain)
+	if host == domain {
+		return true
+	}
+	return strings.HasSuffix(host, "."+domain)
+}

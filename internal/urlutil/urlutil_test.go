@@ -1,0 +1,188 @@
+package urlutil
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	tests := []struct {
+		raw                             string
+		scheme, host, port, path, query string
+	}{
+		{"http://example.com", "http", "example.com", "", "/", ""},
+		{"https://Example.COM:8443/a/b?x=1", "https", "example.com", "8443", "/a/b", "x=1"},
+		{"ws://adnet.com/data.ws", "ws", "adnet.com", "", "/data.ws", ""},
+		{"wss://x.doubleclick.net:443/sock", "wss", "x.doubleclick.net", "443", "/sock", ""},
+		{"http://127.0.0.1:9000/", "http", "127.0.0.1", "9000", "/", ""},
+	}
+	for _, tc := range tests {
+		u, err := Parse(tc.raw)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.raw, err)
+		}
+		if u.Scheme != tc.scheme || u.Host != tc.host || u.Port != tc.port || u.Path != tc.path || u.Query != tc.query {
+			t.Errorf("Parse(%q) = %+v, want scheme=%q host=%q port=%q path=%q query=%q",
+				tc.raw, u, tc.scheme, tc.host, tc.port, tc.path, tc.query)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, raw := range []string{"", "/relative/path", "example.com/no-scheme", "http://", "mailto:user@example.com"} {
+		if _, err := Parse(raw); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", raw)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, raw := range []string{
+		"http://example.com/",
+		"ws://adnet.com/data.ws?sid=7",
+		"https://pub.org:8443/a/b",
+	} {
+		u := MustParse(raw)
+		if got := u.String(); got != raw {
+			t.Errorf("String() = %q, want %q", got, raw)
+		}
+	}
+}
+
+func TestIsWebSocketAndSecure(t *testing.T) {
+	tests := []struct {
+		raw        string
+		ws, secure bool
+	}{
+		{"http://a.com/", false, false},
+		{"https://a.com/", false, true},
+		{"ws://a.com/", true, false},
+		{"wss://a.com/", true, true},
+	}
+	for _, tc := range tests {
+		u := MustParse(tc.raw)
+		if u.IsWebSocket() != tc.ws {
+			t.Errorf("%q IsWebSocket = %v, want %v", tc.raw, u.IsWebSocket(), tc.ws)
+		}
+		if u.IsSecure() != tc.secure {
+			t.Errorf("%q IsSecure = %v, want %v", tc.raw, u.IsSecure(), tc.secure)
+		}
+	}
+}
+
+func TestRegistrableDomain(t *testing.T) {
+	tests := []struct{ host, want string }{
+		{"x.doubleclick.net", "doubleclick.net"},
+		{"y.doubleclick.net", "doubleclick.net"},
+		{"doubleclick.net", "doubleclick.net"},
+		{"dkpklk99llpj0.cloudfront.net", "cloudfront.net"},
+		{"a.b.c.example.com", "example.com"},
+		{"news.bbc.co.uk", "bbc.co.uk"},
+		{"bbc.co.uk", "bbc.co.uk"},
+		{"co.uk", "co.uk"},
+		{"localhost", "localhost"},
+		{"127.0.0.1", "127.0.0.1"},
+		{"Example.COM.", "example.com"},
+		{"shop.something.com.au", "something.com.au"},
+	}
+	for _, tc := range tests {
+		if got := RegistrableDomain(tc.host); got != tc.want {
+			t.Errorf("RegistrableDomain(%q) = %q, want %q", tc.host, got, tc.want)
+		}
+	}
+}
+
+func TestParty(t *testing.T) {
+	if !SameParty("www.pub.com", "static.pub.com") {
+		t.Error("www.pub.com and static.pub.com should be same party")
+	}
+	if SameParty("pub.com", "tracker.com") {
+		t.Error("pub.com and tracker.com should not be same party")
+	}
+	if !IsThirdParty("pub.com", "x.doubleclick.net") {
+		t.Error("doubleclick should be third-party to pub.com")
+	}
+	if IsThirdParty("pub.com", "cdn.pub.com") {
+		t.Error("cdn.pub.com should be first-party to pub.com")
+	}
+}
+
+func TestSubdomain(t *testing.T) {
+	tests := []struct {
+		host, domain string
+		want         bool
+	}{
+		{"a.example.com", "example.com", true},
+		{"example.com", "example.com", true},
+		{"badexample.com", "example.com", false},
+		{"a.b.example.com", "example.com", true},
+		{"example.com", "a.example.com", false},
+		{"A.Example.COM", "example.com", true},
+	}
+	for _, tc := range tests {
+		if got := Subdomain(tc.host, tc.domain); got != tc.want {
+			t.Errorf("Subdomain(%q, %q) = %v, want %v", tc.host, tc.domain, got, tc.want)
+		}
+	}
+}
+
+func TestHostPortDefaults(t *testing.T) {
+	tests := []struct{ raw, want string }{
+		{"http://a.com/x", "a.com:80"},
+		{"https://a.com/x", "a.com:443"},
+		{"ws://a.com/x", "a.com:80"},
+		{"wss://a.com/x", "a.com:443"},
+		{"http://a.com:9999/x", "a.com:9999"},
+	}
+	for _, tc := range tests {
+		if got := MustParse(tc.raw).HostPort(); got != tc.want {
+			t.Errorf("HostPort(%q) = %q, want %q", tc.raw, got, tc.want)
+		}
+	}
+}
+
+func TestOrigin(t *testing.T) {
+	if got := MustParse("https://a.com:8443/p?q=1").Origin(); got != "https://a.com:8443" {
+		t.Errorf("Origin = %q", got)
+	}
+	if got := MustParse("ws://a.com/p").Origin(); got != "ws://a.com" {
+		t.Errorf("Origin = %q", got)
+	}
+}
+
+// TestRegistrableDomainProperties checks structural invariants of
+// registrable-domain extraction over generated host names.
+func TestRegistrableDomainProperties(t *testing.T) {
+	// The registrable domain is always a suffix of the host, is
+	// idempotent, and every subdomain of a host maps to the same
+	// registrable domain.
+	labels := []string{"a", "bb", "ccc", "track", "cdn", "www", "x9"}
+	suffixes := []string{"com", "net", "org", "io", "co.uk", "com.au"}
+	f := func(i, j, k uint8, deep bool) bool {
+		host := labels[int(i)%len(labels)] + "." + labels[int(j)%len(labels)] + "." + suffixes[int(k)%len(suffixes)]
+		if deep {
+			host = "extra." + host
+		}
+		rd := RegistrableDomain(host)
+		if !strings.HasSuffix(host, rd) {
+			return false
+		}
+		if RegistrableDomain(rd) != rd {
+			return false // idempotence
+		}
+		return RegistrableDomain("sub."+host) == rd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of invalid URL did not panic")
+		}
+	}()
+	MustParse("not a url")
+}

@@ -1,0 +1,209 @@
+package webgen
+
+import (
+	"fmt"
+
+	"repro/internal/payload"
+)
+
+// feedPartnerPool generates the pool of benign third-party WebSocket
+// endpoints (sports feeds, push relays, realtime APIs) that the 382
+// unique non-A&A receiver domains of §4.1 are drawn from.
+func feedPartnerPool() []string {
+	kinds := []string{"feed", "push", "live", "stream", "rtapi", "syncd", "score", "tick"}
+	var out []string
+	for i, k := range kinds {
+		for j := 0; j < 5; j++ {
+			// Each endpoint gets its own registrable domain: the paper
+			// aggregates receivers at the 2nd level, so diversity must
+			// survive that aggregation.
+			out = append(out, fmt.Sprintf("%s%02d-rt.net", k, i*5+j))
+		}
+	}
+	return out // 40 domains
+}
+
+// tailAdTechNames builds the long tail of small ad-tech companies. The
+// first persistCount keep initiating WebSockets after the patch; the rest
+// are the ~56 A&A initiators that disappear between the first and last
+// crawl (§4.1).
+func tailAdTech() []*Company {
+	prefixes := []string{"track", "pixel", "adserv", "rtb", "bidx", "audi", "beacn", "syncad", "dmpjs", "taggy"}
+	suffixes := []string{"media", "metrics", "ads", "digital", "network", "labs", "io"}
+	receiverChoices := [][]string{
+		{"33across.com"},
+		{"adnxs.com"},
+		{"googlesyndication.com"},
+		{"realtime.co"},
+		{"pusher.com"},
+		{"cloudflare.com"},
+		{"realtime.co", "pusher.com"},
+		{"googlesyndication.com", "cloudflare.com"},
+	}
+	const total = 72
+	const persistCount = 6
+	out := make([]*Company, 0, total)
+	for i := 0; i < total; i++ {
+		domain := fmt.Sprintf("%s%s%02d.com", prefixes[i%len(prefixes)], suffixes[(i/len(prefixes))%len(suffixes)], i)
+		persists := i < persistCount
+		c := &Company{
+			Name:     fmt.Sprintf("AdTech-%02d", i),
+			Domain:   domain,
+			Category: CatAdExchange,
+			AA:       true,
+			EasyList: true,
+			// Half the long tail evades full-domain listing (small
+			// ad-tech churns faster than the lists).
+			PartialRules: i%2 == 0,
+			// All tail ad-tech initiates pre-patch; only the first few
+			// persist after Chrome 58.
+			InitiatesWS:      [2]bool{true, persists},
+			Style:            InitPartner,
+			SocketsPerPage:   IntRange{1, 1},
+			PagesWithSockets: 0.10,
+			PartnerPool:      receiverChoices[i%len(receiverChoices)],
+			PartnersPerPage:  IntRange{1, 1},
+			SendKinds:        [][]string{{payload.KindUA, payload.KindCookie}},
+			SendBinary:       0.04,
+			CookieProb:       0.7,
+			DeployWeight:     0.35,
+			HTTPPresence:     true,
+			BeaconKinds:      [][]string{{payload.KindUA, payload.KindCookie}},
+		}
+		if i%9 == 0 {
+			// Some of the tail sends identifier-rich payloads.
+			c.SendKinds = [][]string{{payload.KindUA, payload.KindCookie, payload.KindIP, payload.KindUserID}}
+		}
+		if i%13 == 0 {
+			c.SendKinds = append(c.SendKinds, []string{payload.KindLanguage})
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// httpOnlyAdTech are A&A companies with no WebSocket behaviour at all:
+// the bulk of ordinary tracking (analytics tags, ad pixels) that gives
+// the HTTP/S columns of Table 5 their mass and drives the ~27% blockable
+// baseline of §4.2.
+func httpOnlyAdTech() []*Company {
+	specs := []struct {
+		name, domain string
+		cat          Category
+		easylist     bool // else EasyPrivacy
+		partial      bool // only /track paths listed
+		weight       float64
+		beacon       [][]string
+	}{
+		{"Google Analytics", "google-analytics.com", CatAnalytics, false, true, 4.0,
+			[][]string{{payload.KindUA, payload.KindCookie}}},
+		{"Scorecard Research", "scorecardresearch.com", CatAnalytics, false, false, 2.2,
+			[][]string{{payload.KindUA, payload.KindCookie}}},
+		{"Quantcast", "quantserve.com", CatAnalytics, false, false, 2.0,
+			[][]string{{payload.KindUA, payload.KindCookie, payload.KindIP}}},
+		{"Criteo", "criteo.com", CatAdExchange, true, false, 2.4,
+			[][]string{{payload.KindUA, payload.KindCookie, payload.KindUserID}}},
+		{"Rubicon", "rubiconproject.com", CatAdExchange, true, false, 1.8,
+			[][]string{{payload.KindUA, payload.KindCookie}}},
+		{"OpenX", "openx.net", CatAdExchange, true, false, 1.6,
+			[][]string{{payload.KindUA, payload.KindCookie}}},
+		{"PubMatic", "pubmatic.com", CatAdExchange, true, false, 1.5,
+			[][]string{{payload.KindUA, payload.KindCookie}}},
+		{"Taboola", "taboola.com", CatCRN, true, false, 1.8,
+			[][]string{{payload.KindUA, payload.KindCookie}}},
+		{"Outbrain", "outbrain.com", CatCRN, true, false, 1.7,
+			[][]string{{payload.KindUA, payload.KindCookie}}},
+		{"Chartbeat", "chartbeat.com", CatAnalytics, false, true, 1.4,
+			[][]string{{payload.KindUA, payload.KindCookie, payload.KindLanguage}}},
+		{"NewRelic", "nr-data.net", CatAnalytics, false, true, 1.3,
+			[][]string{{payload.KindUA}}},
+		{"Amazon Ads", "amazon-adsystem.com", CatAdExchange, true, false, 1.9,
+			[][]string{{payload.KindUA, payload.KindCookie, payload.KindUserID}}},
+		{"Casale", "casalemedia.com", CatAdExchange, true, false, 1.1,
+			[][]string{{payload.KindUA, payload.KindCookie}}},
+		{"Moat", "moatads.com", CatAnalytics, true, true, 1.2,
+			[][]string{{payload.KindUA, payload.KindViewport}}},
+		{"Integral Ads", "adsafeprotected.com", CatAnalytics, true, true, 1.2,
+			[][]string{{payload.KindUA, payload.KindCookie}}},
+	}
+	out := make([]*Company, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, &Company{
+			Name:         s.name,
+			Domain:       s.domain,
+			Category:     s.cat,
+			AA:           true,
+			EasyList:     s.easylist,
+			EasyPrivacy:  !s.easylist,
+			PartialRules: s.partial,
+			DeployWeight: s.weight,
+			HTTPPresence: true,
+			BeaconKinds:  s.beacon,
+		})
+	}
+	return out
+}
+
+// benignThirdParties serve scripts, fonts, and images with no tracking:
+// the n(d) mass that keeps honest CDNs below the 10% A&A threshold.
+func benignThirdParties() []*Company {
+	specs := []struct {
+		name, domain string
+		weight       float64
+	}{
+		{"jQuery CDN", "jqcdn-static.com", 3.0},
+		{"Font Service", "webfonts-host.org", 2.6},
+		{"Bootstrap CDN", "bootcdn-lib.net", 2.0},
+		{"Polyfill", "polyfill-svc.io", 1.4},
+		{"Static Hosting", "statichost-cdn.net", 1.8},
+		{"Map Tiles", "maptiles-api.org", 0.9},
+	}
+	out := make([]*Company, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, &Company{
+			Name:         s.name,
+			Domain:       s.domain,
+			Category:     CatCDN,
+			AA:           false,
+			DeployWeight: s.weight,
+			HTTPPresence: true,
+		})
+	}
+	return out
+}
+
+// mixedLabelParties have some resources matched by the lists and some
+// not, exercising the a(d) >= 0.1*n(d) threshold of §3.2 from both
+// sides: "borderline" clears the 10% bar, "mostly-clean" does not.
+func mixedLabelParties() []*Company {
+	return []*Company{
+		{
+			Name: "Borderline CDN", Domain: "borderline-cdn.com",
+			Category: CatCDN, AA: true, PartialRules: true, EasyPrivacy: true,
+			DeployWeight: 1.0, HTTPPresence: true,
+			// Roughly 1 tracked beacon for every few clean resources:
+			// above 10%, so labeled A&A.
+			BeaconKinds: [][]string{{payload.KindUA}},
+		},
+		{
+			Name: "Mostly Clean CDN", Domain: "mostlyclean-cdn.net",
+			Category: CatCDN, AA: false, PartialRules: true, EasyPrivacy: true,
+			// Its tracked path is requested so rarely relative to clean
+			// loads that it stays under the threshold; the world
+			// generator requests the clean path many times per tracked
+			// one (see resources.go).
+			DeployWeight: 1.2, HTTPPresence: true,
+		},
+	}
+}
+
+// AllCompanies assembles the full registry.
+func AllCompanies() []*Company {
+	var out []*Company
+	out = append(out, NamedCompanies()...)
+	out = append(out, tailAdTech()...)
+	out = append(out, httpOnlyAdTech()...)
+	out = append(out, benignThirdParties()...)
+	out = append(out, mixedLabelParties()...)
+	return out
+}

@@ -1,0 +1,218 @@
+// Package webserver serves a webgen.World over a real loopback TCP
+// listener: every publisher and company host is virtual-hosted on one
+// address (selected by the Host header, the way a DNS override would),
+// and WebSocket endpoints complete genuine RFC 6455 handshakes via
+// internal/wsproto.
+//
+// The crawler's browser points its resolver at Server.Addr, so crawls
+// exercise the full network path — TCP, HTTP, WebSocket framing — rather
+// than in-process shortcuts.
+package webserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unicode/utf8"
+
+	"repro/internal/webgen"
+	"repro/internal/wsproto"
+)
+
+// Stats counts server-side activity, useful in tests and examples.
+type Stats struct {
+	HTTPRequests   atomic.Int64
+	WSHandshakes   atomic.Int64
+	WSMessagesSent atomic.Int64
+	NotFound       atomic.Int64
+}
+
+// Server serves one World.
+type Server struct {
+	World *webgen.World
+	Stats Stats
+
+	ln     net.Listener
+	srv    *http.Server
+	mu     sync.Mutex
+	socks  map[*wsproto.Conn]struct{}
+	closed bool
+}
+
+// Start launches the server on an ephemeral loopback port.
+func Start(w *webgen.World) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("webserver: listen: %w", err)
+	}
+	s := &Server{
+		World: w,
+		ln:    ln,
+		socks: map[*wsproto.Conn]struct{}{},
+	}
+	s.srv = &http.Server{
+		Handler:           http.HandlerFunc(s.handle),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serve exits on Close; other errors are fatal only to the
+			// accept loop and will surface as dial failures in callers.
+			_ = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the host:port the server listens on.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts down the listener and drops open sockets.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.socks {
+		_ = c.Close()
+	}
+	s.socks = map[*wsproto.Conn]struct{}{}
+	s.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// hostOnly strips a port from a Host header value.
+func hostOnly(hostport string) string {
+	if i := strings.LastIndexByte(hostport, ':'); i >= 0 && !strings.Contains(hostport[i:], "]") {
+		return hostport[:i]
+	}
+	return hostport
+}
+
+// isUpgrade reports whether the request is a WebSocket opening handshake.
+func isUpgrade(r *http.Request) bool {
+	return strings.EqualFold(r.Header.Get("Upgrade"), "websocket")
+}
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	host := hostOnly(r.Host)
+	if !s.World.KnownHost(host) {
+		s.Stats.NotFound.Add(1)
+		http.Error(w, "unknown virtual host", http.StatusBadGateway)
+		return
+	}
+	if isUpgrade(r) {
+		s.handleWS(w, r, host)
+		return
+	}
+	s.Stats.HTTPRequests.Add(1)
+	url := "http://" + host + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	// Drain request bodies (beacon POSTs) before responding.
+	if r.Body != nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(r.Body, 1<<20))
+	}
+	res, ok := s.World.Get(url)
+	if !ok {
+		s.Stats.NotFound.Add(1)
+		http.Error(w, "no such resource", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", res.ContentType)
+	w.WriteHeader(res.Status)
+	_, _ = w.Write(res.Body)
+}
+
+func (s *Server) handleWS(w http.ResponseWriter, r *http.Request, host string) {
+	ep, ok := s.World.WSEndpointFor(host, r.URL.Path)
+	if !ok {
+		s.Stats.NotFound.Add(1)
+		http.Error(w, "no websocket endpoint here", http.StatusNotFound)
+		return
+	}
+	query := r.URL.RawQuery
+	conn, err := wsproto.Upgrade(w, r)
+	if err != nil {
+		return
+	}
+	s.Stats.WSHandshakes.Add(1)
+	s.track(conn)
+	go s.serveSocket(conn, ep, query)
+}
+
+func (s *Server) track(c *wsproto.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		_ = c.Close()
+		return
+	}
+	s.socks[c] = struct{}{}
+}
+
+func (s *Server) untrack(c *wsproto.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.socks, c)
+}
+
+// serveSocket implements the endpoint protocol: push the deterministic
+// response messages for this connection, then read client traffic until
+// the client closes.
+func (s *Server) serveSocket(conn *wsproto.Conn, ep *webgen.WSEndpoint, query string) {
+	defer s.untrack(conn)
+	defer conn.Close()
+	for _, msg := range s.World.WSMessages(ep, query) {
+		// Anything that is not valid UTF-8 (images, binary blobs) must
+		// travel as a binary frame, or the client's RFC 6455 text
+		// validation would fail the connection.
+		op := wsproto.OpText
+		if !utf8.Valid(msg) {
+			op = wsproto.OpBinary
+		}
+		if err := conn.WriteMessage(op, msg); err != nil {
+			return
+		}
+		s.Stats.WSMessagesSent.Add(1)
+	}
+	for {
+		if _, _, err := conn.ReadMessage(); err != nil {
+			return
+		}
+	}
+}
+
+// Resolver returns a function mapping any known virtual host:port to the
+// server's address, for use as a browser/Dialer resolver.
+func (s *Server) Resolver() func(hostport string) string {
+	addr := s.Addr()
+	return func(hostport string) string {
+		if s.World.KnownHost(hostOnly(hostport)) {
+			return addr
+		}
+		return hostport
+	}
+}
+
+// Client returns an http.Client whose connections all go to this server
+// while preserving Host-header virtual hosting.
+func (s *Server) Client() *http.Client {
+	addr := s.Addr()
+	dialer := &net.Dialer{Timeout: 5 * time.Second}
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+			return dialer.DialContext(ctx, network, addr)
+		},
+		MaxIdleConnsPerHost: 32,
+	}
+	return &http.Client{Transport: transport, Timeout: 30 * time.Second}
+}

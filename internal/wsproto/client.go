@@ -1,0 +1,99 @@
+package wsproto
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/urlutil"
+)
+
+// Dialer opens client WebSocket connections. The zero value dials the
+// host named in the URL over TCP; NetDial and rewriting hooks let the
+// synthetic-web browser route every virtual host to one loopback server.
+type Dialer struct {
+	// NetDial, if non-nil, replaces net.Dial for the underlying
+	// transport connection. addr is the host:port derived from the URL
+	// (after ResolveAddr, if set).
+	NetDial func(ctx context.Context, network, addr string) (net.Conn, error)
+
+	// ResolveAddr, if non-nil, maps the URL's host:port to the dial
+	// address. The Host header still carries the original virtual host.
+	ResolveAddr func(hostport string) string
+
+	// Rand supplies masking keys and handshake nonces; nil means a
+	// time-seeded source.
+	Rand *rand.Rand
+
+	// Header is added to the opening handshake request (e.g. Origin,
+	// Cookie, User-Agent).
+	Header http.Header
+}
+
+// Dial performs the opening handshake against the ws:// or wss:// URL and
+// returns the established connection along with the validated handshake
+// response headers.
+//
+// "wss" URLs are carried over the same insecure transport as "ws": the
+// synthetic web has no CA infrastructure, and nothing in the measurement
+// depends on transport encryption — only on scheme labels.
+func (d *Dialer) Dial(ctx context.Context, rawURL string) (*Conn, http.Header, error) {
+	u, err := urlutil.Parse(rawURL)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !u.IsWebSocket() {
+		return nil, nil, fmt.Errorf("wsproto: dial %q: not a ws/wss URL", rawURL)
+	}
+	addr := u.HostPort()
+	if d.ResolveAddr != nil {
+		addr = d.ResolveAddr(addr)
+	}
+	netDial := d.NetDial
+	if netDial == nil {
+		var std net.Dialer
+		netDial = std.DialContext
+	}
+	nc, err := netDial(ctx, "tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wsproto: dial %s: %w", addr, err)
+	}
+	rng := d.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(int64(len(rawURL))*7919 + 1))
+	}
+	// The context deadline must cover the handshake I/O too — a server
+	// that accepts TCP and then goes silent would otherwise hang the
+	// read forever.
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = nc.SetDeadline(deadline)
+	}
+	key := GenerateKey(rng)
+	bw := bufio.NewWriter(nc)
+	if err := writeClientHandshake(bw, u, key, d.Header); err != nil {
+		nc.Close()
+		return nil, nil, fmt.Errorf("wsproto: send handshake: %w", err)
+	}
+	br := bufio.NewReader(nc)
+	respHdr, err := readServerHandshake(br, key)
+	if err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	// Handshake complete: lift the deadline; callers manage their own
+	// read/write deadlines from here.
+	_ = nc.SetDeadline(time.Time{})
+	conn := newConn(nc, br, true, rng)
+	conn.Subprotocol = respHdr.Get("Sec-Websocket-Protocol")
+	return conn, respHdr, nil
+}
+
+// Dial is a convenience wrapper using a zero Dialer.
+func Dial(ctx context.Context, rawURL string) (*Conn, http.Header, error) {
+	var d Dialer
+	return d.Dial(ctx, rawURL)
+}

@@ -1,0 +1,212 @@
+package wsproto
+
+// Conformance vectors for the frame codec: known byte sequences from
+// RFC 6455 §5.7 and hand-derived edge cases, checked in both directions
+// (decode the wire bytes, and re-encode to the same bytes).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// rfcVectors are the worked examples of RFC 6455 §5.7 plus structural
+// edge cases around the 7/16/64-bit length boundaries.
+func rfcVectors() []struct {
+	name  string
+	wire  []byte
+	frame Frame
+} {
+	longPayload := bytes.Repeat([]byte{0xAA}, 65536)
+	longWire := append([]byte{0x82, 127}, make([]byte, 8)...)
+	binary.BigEndian.PutUint64(longWire[2:10], 65536)
+	longWire = append(longWire, longPayload...)
+
+	boundary125 := bytes.Repeat([]byte{'x'}, 125)
+	boundary126 := bytes.Repeat([]byte{'y'}, 126)
+	boundary65535 := bytes.Repeat([]byte{'z'}, 65535)
+
+	w126 := append([]byte{0x81, 126, 0x00, 126}, boundary126...)
+	w65535 := append([]byte{0x81, 126, 0xFF, 0xFF}, boundary65535...)
+
+	return []struct {
+		name  string
+		wire  []byte
+		frame Frame
+	}{
+		{
+			// RFC 6455 §5.7: single-frame unmasked text "Hello".
+			name:  "rfc_unmasked_hello",
+			wire:  []byte{0x81, 0x05, 0x48, 0x65, 0x6c, 0x6c, 0x6f},
+			frame: Frame{FIN: true, Opcode: OpText, Payload: []byte("Hello")},
+		},
+		{
+			// RFC 6455 §5.7: single-frame masked text "Hello".
+			name: "rfc_masked_hello",
+			wire: []byte{0x81, 0x85, 0x37, 0xfa, 0x21, 0x3d, 0x7f, 0x9f, 0x4d, 0x51, 0x58},
+			frame: Frame{FIN: true, Opcode: OpText, Masked: true,
+				MaskKey: [4]byte{0x37, 0xfa, 0x21, 0x3d}, Payload: []byte("Hello")},
+		},
+		{
+			// RFC 6455 §5.7: fragmented unmasked text, first fragment "Hel".
+			name:  "rfc_fragment_1",
+			wire:  []byte{0x01, 0x03, 0x48, 0x65, 0x6c},
+			frame: Frame{FIN: false, Opcode: OpText, Payload: []byte("Hel")},
+		},
+		{
+			// RFC 6455 §5.7: final continuation fragment "lo".
+			name:  "rfc_fragment_2",
+			wire:  []byte{0x80, 0x02, 0x6c, 0x6f},
+			frame: Frame{FIN: true, Opcode: OpContinuation, Payload: []byte("lo")},
+		},
+		{
+			// RFC 6455 §5.7: unmasked ping with body "Hello".
+			name:  "rfc_ping",
+			wire:  []byte{0x89, 0x05, 0x48, 0x65, 0x6c, 0x6c, 0x6f},
+			frame: Frame{FIN: true, Opcode: OpPing, Payload: []byte("Hello")},
+		},
+		{
+			// RFC 6455 §5.7: masked pong with body "Hello".
+			name: "rfc_masked_pong",
+			wire: []byte{0x8a, 0x85, 0x37, 0xfa, 0x21, 0x3d, 0x7f, 0x9f, 0x4d, 0x51, 0x58},
+			frame: Frame{FIN: true, Opcode: OpPong, Masked: true,
+				MaskKey: [4]byte{0x37, 0xfa, 0x21, 0x3d}, Payload: []byte("Hello")},
+		},
+		{
+			// Largest 7-bit length.
+			name:  "len_125",
+			wire:  append([]byte{0x81, 125}, boundary125...),
+			frame: Frame{FIN: true, Opcode: OpText, Payload: boundary125},
+		},
+		{
+			// Smallest 16-bit length.
+			name:  "len_126",
+			wire:  w126,
+			frame: Frame{FIN: true, Opcode: OpText, Payload: boundary126},
+		},
+		{
+			// Largest 16-bit length.
+			name:  "len_65535",
+			wire:  w65535,
+			frame: Frame{FIN: true, Opcode: OpText, Payload: boundary65535},
+		},
+		{
+			// Smallest 64-bit length (RFC 6455 §5.7's 256-byte example
+			// scaled to the boundary).
+			name:  "len_65536",
+			wire:  longWire,
+			frame: Frame{FIN: true, Opcode: OpBinary, Payload: longPayload},
+		},
+		{
+			// Empty unmasked close frame (no status).
+			name:  "close_empty",
+			wire:  []byte{0x88, 0x00},
+			frame: Frame{FIN: true, Opcode: OpClose},
+		},
+	}
+}
+
+func TestConformanceDecode(t *testing.T) {
+	for _, v := range rfcVectors() {
+		t.Run(v.name, func(t *testing.T) {
+			got, err := ReadFrame(bytes.NewReader(v.wire), 0)
+			if err != nil {
+				t.Fatalf("ReadFrame: %v", err)
+			}
+			if got.FIN != v.frame.FIN || got.Opcode != v.frame.Opcode || got.Masked != v.frame.Masked {
+				t.Errorf("header mismatch: got %+v", got)
+			}
+			if got.Masked && got.MaskKey != v.frame.MaskKey {
+				t.Errorf("mask key = %x, want %x", got.MaskKey, v.frame.MaskKey)
+			}
+			if !bytes.Equal(got.Payload, v.frame.Payload) {
+				t.Errorf("payload mismatch: %d bytes vs %d", len(got.Payload), len(v.frame.Payload))
+			}
+		})
+	}
+}
+
+func TestConformanceEncode(t *testing.T) {
+	for _, v := range rfcVectors() {
+		t.Run(v.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			f := v.frame
+			if err := WriteFrame(&buf, &f); err != nil {
+				t.Fatalf("WriteFrame: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), v.wire) {
+				limit := 16
+				got, want := buf.Bytes(), v.wire
+				if len(got) > limit {
+					got = got[:limit]
+				}
+				if len(want) > limit {
+					want = want[:limit]
+				}
+				t.Errorf("wire mismatch: got % x..., want % x... (lengths %d vs %d)",
+					got, want, buf.Len(), len(v.wire))
+			}
+		})
+	}
+}
+
+// TestConformanceStreamReassembly feeds all RFC vectors through one
+// reader as a contiguous stream.
+func TestConformanceStreamReassembly(t *testing.T) {
+	var stream bytes.Buffer
+	vs := rfcVectors()
+	for _, v := range vs {
+		stream.Write(v.wire)
+	}
+	r := bytes.NewReader(stream.Bytes())
+	for i, v := range vs {
+		got, err := ReadFrame(r, 0)
+		if err != nil {
+			t.Fatalf("frame %d (%s): %v", i, v.name, err)
+		}
+		if got.Opcode != v.frame.Opcode || !bytes.Equal(got.Payload, v.frame.Payload) {
+			t.Fatalf("frame %d (%s) corrupted in stream", i, v.name)
+		}
+	}
+	if _, err := ReadFrame(r, 0); err != io.EOF {
+		t.Errorf("stream end: %v, want EOF", err)
+	}
+}
+
+// TestConformanceTruncations verifies that every proper prefix of a
+// valid frame fails with an unexpected-EOF class error rather than a
+// bogus success.
+func TestConformanceTruncations(t *testing.T) {
+	wire := []byte{0x81, 0x85, 0x37, 0xfa, 0x21, 0x3d, 0x7f, 0x9f, 0x4d, 0x51, 0x58}
+	for cut := 1; cut < len(wire); cut++ {
+		_, err := ReadFrame(bytes.NewReader(wire[:cut]), 0)
+		if err == nil {
+			t.Errorf("prefix of %d bytes decoded successfully", cut)
+		}
+	}
+}
+
+// TestConformanceMaskedRoundTripAllOffsets checks masking at every
+// payload length 0..67 to cover all mask-key phase alignments.
+func TestConformanceMaskedRoundTripAllOffsets(t *testing.T) {
+	key := [4]byte{0xA1, 0xB2, 0xC3, 0xD4}
+	for n := 0; n <= 67; n++ {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i * 7)
+		}
+		var buf bytes.Buffer
+		f := Frame{FIN: true, Opcode: OpBinary, Masked: true, MaskKey: key, Payload: payload}
+		if err := WriteFrame(&buf, &f); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got.Payload, payload) {
+			t.Fatalf("n=%d: payload corrupted", n)
+		}
+	}
+}

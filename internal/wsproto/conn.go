@@ -1,0 +1,311 @@
+package wsproto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// CloseError is returned from read operations after the peer closes the
+// connection with a close frame.
+type CloseError struct {
+	Code   int
+	Reason string
+}
+
+// Error implements error.
+func (e *CloseError) Error() string {
+	return fmt.Sprintf("wsproto: connection closed: code=%d reason=%q", e.Code, e.Reason)
+}
+
+// IsCloseError reports whether err is a *CloseError with one of the given
+// codes (or any close error when no codes are given).
+func IsCloseError(err error, codes ...int) bool {
+	var ce *CloseError
+	if !errors.As(err, &ce) {
+		return false
+	}
+	if len(codes) == 0 {
+		return true
+	}
+	for _, c := range codes {
+		if ce.Code == c {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrConnClosed is returned by writes after the connection is closed.
+var ErrConnClosed = errors.New("wsproto: use of closed connection")
+
+// DefaultMaxMessageSize bounds assembled message sizes unless overridden
+// with SetMaxMessageSize.
+const DefaultMaxMessageSize = 1 << 22 // 4 MiB
+
+// Conn is an established WebSocket connection. It is safe for one
+// concurrent reader and one concurrent writer; writes are additionally
+// serialized internally so control replies never interleave with data.
+type Conn struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	isClient bool
+	rng      *rand.Rand
+
+	writeMu sync.Mutex
+	closed  bool
+
+	readMu     sync.Mutex
+	maxMsgSize int64
+
+	// fragOpcode/fragBuf hold an in-progress fragmented message.
+	fragOpcode Opcode
+	fragBuf    []byte
+
+	// closeSent records that we already emitted a close frame.
+	closeSentMu sync.Mutex
+	closeSent   bool
+
+	// Subprotocol is the agreed subprotocol ("" if none).
+	Subprotocol string
+
+	// PingHandler, if set, is invoked for incoming pings after the
+	// automatic pong reply. PongHandler is invoked for incoming pongs.
+	PingHandler func(payload []byte)
+	PongHandler func(payload []byte)
+}
+
+func newConn(c net.Conn, br *bufio.Reader, isClient bool, rng *rand.Rand) *Conn {
+	if br == nil {
+		br = bufio.NewReader(c)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return &Conn{
+		conn:       c,
+		br:         br,
+		isClient:   isClient,
+		rng:        rng,
+		maxMsgSize: DefaultMaxMessageSize,
+	}
+}
+
+// SetMaxMessageSize bounds the size of assembled incoming messages.
+func (c *Conn) SetMaxMessageSize(n int64) { c.maxMsgSize = n }
+
+// LocalAddr returns the local network address.
+func (c *Conn) LocalAddr() net.Addr { return c.conn.LocalAddr() }
+
+// RemoteAddr returns the remote network address.
+func (c *Conn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
+
+// SetDeadline sets read and write deadlines on the underlying connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// WriteMessage sends a complete message of the given data opcode
+// (OpText or OpBinary).
+func (c *Conn) WriteMessage(op Opcode, payload []byte) error {
+	if !op.IsData() || op == OpContinuation {
+		return ErrInvalidOpcode
+	}
+	return c.writeFrame(&Frame{FIN: true, Opcode: op, Payload: payload})
+}
+
+// WriteText sends a text message.
+func (c *Conn) WriteText(s string) error { return c.WriteMessage(OpText, []byte(s)) }
+
+// WriteBinary sends a binary message.
+func (c *Conn) WriteBinary(b []byte) error { return c.WriteMessage(OpBinary, b) }
+
+// WriteFragmented sends payload as a fragmented message split into chunks
+// of at most chunk bytes, exercising continuation-frame handling.
+func (c *Conn) WriteFragmented(op Opcode, payload []byte, chunk int) error {
+	if chunk <= 0 {
+		return fmt.Errorf("wsproto: invalid chunk size %d", chunk)
+	}
+	first := true
+	for {
+		n := len(payload)
+		if n > chunk {
+			n = chunk
+		}
+		f := &Frame{FIN: n == len(payload), Payload: payload[:n]}
+		if first {
+			f.Opcode = op
+			first = false
+		} else {
+			f.Opcode = OpContinuation
+		}
+		if err := c.writeFrame(f); err != nil {
+			return err
+		}
+		payload = payload[n:]
+		if len(payload) == 0 && f.FIN {
+			return nil
+		}
+	}
+}
+
+// Ping sends a ping control frame.
+func (c *Conn) Ping(payload []byte) error {
+	return c.writeFrame(&Frame{FIN: true, Opcode: OpPing, Payload: payload})
+}
+
+// Pong sends an unsolicited pong control frame.
+func (c *Conn) Pong(payload []byte) error {
+	return c.writeFrame(&Frame{FIN: true, Opcode: OpPong, Payload: payload})
+}
+
+func (c *Conn) writeFrame(f *Frame) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return ErrConnClosed
+	}
+	if c.isClient {
+		f.Masked = true
+		c.rng.Read(f.MaskKey[:])
+	}
+	return WriteFrame(c.conn, f)
+}
+
+// ReadMessage reads the next complete data message, assembling fragments
+// and transparently handling control frames (pings are answered with
+// pongs; a close frame completes the closing handshake and surfaces a
+// *CloseError).
+func (c *Conn) ReadMessage() (Opcode, []byte, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	for {
+		f, err := ReadFrame(c.br, c.maxMsgSize)
+		if err != nil {
+			return 0, nil, err
+		}
+		// Enforce masking direction (RFC 6455 §5.1).
+		if c.isClient && f.Masked {
+			c.failConn(CloseProtocolError)
+			return 0, nil, ErrMaskedServer
+		}
+		if !c.isClient && !f.Masked {
+			c.failConn(CloseProtocolError)
+			return 0, nil, ErrUnmaskedClient
+		}
+		if f.Opcode.IsControl() {
+			if done, err := c.handleControl(f); done || err != nil {
+				return 0, nil, err
+			}
+			continue
+		}
+		if f.Opcode == OpContinuation {
+			if c.fragBuf == nil {
+				c.failConn(CloseProtocolError)
+				return 0, nil, ErrUnexpectedContinue
+			}
+		} else if c.fragBuf != nil {
+			c.failConn(CloseProtocolError)
+			return 0, nil, ErrExpectedContinue
+		} else {
+			c.fragOpcode = f.Opcode
+			c.fragBuf = []byte{}
+		}
+		if c.maxMsgSize > 0 && int64(len(c.fragBuf)+len(f.Payload)) > c.maxMsgSize {
+			c.failConn(CloseMessageTooBig)
+			return 0, nil, ErrFrameTooLarge
+		}
+		c.fragBuf = append(c.fragBuf, f.Payload...)
+		if !f.FIN {
+			continue
+		}
+		op, msg := c.fragOpcode, c.fragBuf
+		c.fragOpcode, c.fragBuf = 0, nil
+		if op == OpText && !utf8.Valid(msg) {
+			c.failConn(CloseInvalidPayload)
+			return 0, nil, ErrInvalidUTF8
+		}
+		return op, msg, nil
+	}
+}
+
+// handleControl processes a control frame. It returns done=true when the
+// frame was a close frame (err carries the *CloseError).
+func (c *Conn) handleControl(f *Frame) (done bool, err error) {
+	switch f.Opcode {
+	case OpPing:
+		// Best-effort pong; a write failure will surface on the next
+		// explicit operation.
+		_ = c.writeFrame(&Frame{FIN: true, Opcode: OpPong, Payload: f.Payload})
+		if c.PingHandler != nil {
+			c.PingHandler(f.Payload)
+		}
+		return false, nil
+	case OpPong:
+		if c.PongHandler != nil {
+			c.PongHandler(f.Payload)
+		}
+		return false, nil
+	case OpClose:
+		code, reason, perr := parseClosePayload(f.Payload)
+		if perr != nil {
+			c.failConn(CloseProtocolError)
+			return true, perr
+		}
+		echo := code
+		if echo == CloseNoStatus {
+			echo = CloseNormal
+		}
+		c.sendClose(echo, "")
+		c.shutdown()
+		return true, &CloseError{Code: code, Reason: reason}
+	}
+	return false, ErrInvalidOpcode
+}
+
+// Close performs the closing handshake with a normal close code and tears
+// down the connection without waiting for the peer's reply.
+func (c *Conn) Close() error { return c.CloseWithCode(CloseNormal, "") }
+
+// CloseWithCode sends a close frame with the given code and reason, then
+// closes the underlying connection.
+func (c *Conn) CloseWithCode(code int, reason string) error {
+	c.sendClose(code, reason)
+	return c.shutdown()
+}
+
+func (c *Conn) sendClose(code int, reason string) {
+	c.closeSentMu.Lock()
+	sent := c.closeSent
+	c.closeSent = true
+	c.closeSentMu.Unlock()
+	if sent {
+		return
+	}
+	// Bound the close-frame write: a peer that has stopped reading must
+	// not be able to wedge teardown.
+	_ = c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_ = c.writeFrame(&Frame{FIN: true, Opcode: OpClose, Payload: closePayload(code, reason)})
+	_ = c.conn.SetWriteDeadline(time.Time{})
+}
+
+// failConn is invoked on protocol violations: it sends a close frame with
+// the given code and drops the connection (RFC 6455 §7.1.7 "Fail the
+// WebSocket Connection").
+func (c *Conn) failConn(code int) {
+	c.sendClose(code, "")
+	_ = c.shutdown()
+}
+
+func (c *Conn) shutdown() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}

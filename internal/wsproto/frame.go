@@ -1,0 +1,292 @@
+// Package wsproto implements the WebSocket protocol (RFC 6455) over any
+// net.Conn: the opening handshake, the frame codec (including masking,
+// fragmentation, and control frames), and client/server connection types.
+//
+// The synthetic web in this repository carries its tracking traffic over
+// genuine WebSocket connections built with this package, so the browser's
+// socket detection, the devtools frame events, and the content analysis in
+// the paper's Table 5 all exercise real protocol code.
+package wsproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcode identifies the frame type per RFC 6455 §5.2.
+type Opcode byte
+
+// Frame opcodes.
+const (
+	OpContinuation Opcode = 0x0
+	OpText         Opcode = 0x1
+	OpBinary       Opcode = 0x2
+	OpClose        Opcode = 0x8
+	OpPing         Opcode = 0x9
+	OpPong         Opcode = 0xA
+)
+
+// IsControl reports whether the opcode designates a control frame.
+func (op Opcode) IsControl() bool { return op&0x8 != 0 }
+
+// IsData reports whether the opcode designates a data frame
+// (text, binary, or continuation).
+func (op Opcode) IsData() bool {
+	return op == OpContinuation || op == OpText || op == OpBinary
+}
+
+// String returns the RFC name of the opcode.
+func (op Opcode) String() string {
+	switch op {
+	case OpContinuation:
+		return "continuation"
+	case OpText:
+		return "text"
+	case OpBinary:
+		return "binary"
+	case OpClose:
+		return "close"
+	case OpPing:
+		return "ping"
+	case OpPong:
+		return "pong"
+	default:
+		return fmt.Sprintf("opcode(0x%x)", byte(op))
+	}
+}
+
+// validOpcode reports whether op is an opcode defined by RFC 6455.
+func validOpcode(op Opcode) bool {
+	switch op {
+	case OpContinuation, OpText, OpBinary, OpClose, OpPing, OpPong:
+		return true
+	}
+	return false
+}
+
+// Close codes per RFC 6455 §7.4.1.
+const (
+	CloseNormal             = 1000
+	CloseGoingAway          = 1001
+	CloseProtocolError      = 1002
+	CloseUnsupportedData    = 1003
+	CloseNoStatus           = 1005 // reserved: never sent on the wire
+	CloseAbnormal           = 1006 // reserved: never sent on the wire
+	CloseInvalidPayload     = 1007
+	ClosePolicyViolation    = 1008
+	CloseMessageTooBig      = 1009
+	CloseMandatoryExtension = 1010
+	CloseInternalError      = 1011
+)
+
+// validCloseCode reports whether code may appear in a Close frame on the
+// wire (RFC 6455 §7.4).
+func validCloseCode(code int) bool {
+	switch {
+	case code >= 1000 && code <= 1003:
+		return true
+	case code >= 1007 && code <= 1011:
+		return true
+	case code >= 3000 && code <= 4999:
+		return true
+	}
+	return false
+}
+
+// Protocol errors surfaced by the codec.
+var (
+	ErrReservedBits       = errors.New("wsproto: non-zero reserved bits")
+	ErrInvalidOpcode      = errors.New("wsproto: invalid opcode")
+	ErrControlTooLong     = errors.New("wsproto: control frame payload exceeds 125 bytes")
+	ErrControlFragmented  = errors.New("wsproto: fragmented control frame")
+	ErrBadPayloadLength   = errors.New("wsproto: non-minimal or invalid payload length encoding")
+	ErrFrameTooLarge      = errors.New("wsproto: frame exceeds maximum size")
+	ErrUnmaskedClient     = errors.New("wsproto: client frame not masked")
+	ErrMaskedServer       = errors.New("wsproto: server frame masked")
+	ErrInvalidCloseFrame  = errors.New("wsproto: malformed close frame payload")
+	ErrInvalidUTF8        = errors.New("wsproto: invalid UTF-8 in text message")
+	ErrUnexpectedContinue = errors.New("wsproto: continuation frame without preceding data frame")
+	ErrExpectedContinue   = errors.New("wsproto: new data frame while fragmented message in progress")
+)
+
+// Frame is a single WebSocket frame.
+type Frame struct {
+	// FIN is set on the final fragment of a message.
+	FIN bool
+	// Opcode identifies the frame type.
+	Opcode Opcode
+	// Masked is set when the payload is masked on the wire (mandatory
+	// client→server, forbidden server→client).
+	Masked bool
+	// MaskKey is the 4-byte masking key when Masked is set.
+	MaskKey [4]byte
+	// Payload is the unmasked application payload.
+	Payload []byte
+}
+
+// maxControlPayload is the RFC 6455 limit for control frame payloads.
+const maxControlPayload = 125
+
+// WriteFrame encodes f to w. The payload is masked on the wire when
+// f.Masked is set; f.Payload itself is not modified.
+func WriteFrame(w io.Writer, f *Frame) error {
+	if !validOpcode(f.Opcode) {
+		return ErrInvalidOpcode
+	}
+	if f.Opcode.IsControl() {
+		if len(f.Payload) > maxControlPayload {
+			return ErrControlTooLong
+		}
+		if !f.FIN {
+			return ErrControlFragmented
+		}
+	}
+	var hdr [14]byte
+	n := 0
+	b0 := byte(f.Opcode)
+	if f.FIN {
+		b0 |= 0x80
+	}
+	hdr[0] = b0
+	n = 2
+	plen := len(f.Payload)
+	switch {
+	case plen <= 125:
+		hdr[1] = byte(plen)
+	case plen <= 0xFFFF:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(plen))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(plen))
+		n = 10
+	}
+	if f.Masked {
+		hdr[1] |= 0x80
+		copy(hdr[n:n+4], f.MaskKey[:])
+		n += 4
+	}
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("wsproto: write frame header: %w", err)
+	}
+	payload := f.Payload
+	if f.Masked && plen > 0 {
+		masked := make([]byte, plen)
+		copy(masked, payload)
+		maskBytes(f.MaskKey, 0, masked)
+		payload = masked
+	}
+	if plen > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("wsproto: write frame payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame decodes one frame from r. maxSize bounds the accepted payload
+// length (0 means no limit). The returned payload is already unmasked.
+func ReadFrame(r io.Reader, maxSize int64) (*Frame, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	f := &Frame{
+		FIN:    hdr[0]&0x80 != 0,
+		Opcode: Opcode(hdr[0] & 0x0F),
+		Masked: hdr[1]&0x80 != 0,
+	}
+	if hdr[0]&0x70 != 0 {
+		return nil, ErrReservedBits
+	}
+	if !validOpcode(f.Opcode) {
+		return nil, ErrInvalidOpcode
+	}
+	plen := int64(hdr[1] & 0x7F)
+	switch plen {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return nil, err
+		}
+		plen = int64(binary.BigEndian.Uint16(ext[:]))
+		if plen < 126 {
+			return nil, ErrBadPayloadLength
+		}
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return nil, err
+		}
+		v := binary.BigEndian.Uint64(ext[:])
+		if v&(1<<63) != 0 || v <= 0xFFFF {
+			return nil, ErrBadPayloadLength
+		}
+		plen = int64(v)
+	}
+	if f.Opcode.IsControl() {
+		if plen > maxControlPayload {
+			return nil, ErrControlTooLong
+		}
+		if !f.FIN {
+			return nil, ErrControlFragmented
+		}
+	}
+	if maxSize > 0 && plen > maxSize {
+		return nil, ErrFrameTooLarge
+	}
+	if f.Masked {
+		if _, err := io.ReadFull(r, f.MaskKey[:]); err != nil {
+			return nil, err
+		}
+	}
+	if plen > 0 {
+		f.Payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return nil, err
+		}
+		if f.Masked {
+			maskBytes(f.MaskKey, 0, f.Payload)
+		}
+	}
+	return f, nil
+}
+
+// maskBytes XORs b in place with the masking key, starting at key offset
+// pos, and returns the key offset after the final byte.
+func maskBytes(key [4]byte, pos int, b []byte) int {
+	for i := range b {
+		b[i] ^= key[(pos+i)&3]
+	}
+	return (pos + len(b)) & 3
+}
+
+// closePayload encodes a close code and reason into a close frame payload.
+func closePayload(code int, reason string) []byte {
+	if code == CloseNoStatus {
+		return nil
+	}
+	p := make([]byte, 2+len(reason))
+	binary.BigEndian.PutUint16(p, uint16(code))
+	copy(p[2:], reason)
+	return p
+}
+
+// parseClosePayload decodes a close frame payload into code and reason.
+// An empty payload means no status was supplied (CloseNoStatus).
+func parseClosePayload(p []byte) (code int, reason string, err error) {
+	switch {
+	case len(p) == 0:
+		return CloseNoStatus, "", nil
+	case len(p) == 1:
+		return 0, "", ErrInvalidCloseFrame
+	}
+	code = int(binary.BigEndian.Uint16(p[:2]))
+	if !validCloseCode(code) {
+		return 0, "", ErrInvalidCloseFrame
+	}
+	return code, string(p[2:]), nil
+}

@@ -1,0 +1,195 @@
+package wsproto
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/textproto"
+	"strings"
+
+	"repro/internal/urlutil"
+)
+
+// websocketGUID is the fixed GUID from RFC 6455 §1.3 used to derive the
+// Sec-WebSocket-Accept value.
+const websocketGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// Handshake errors.
+var (
+	ErrBadHandshakeStatus  = errors.New("wsproto: handshake response status is not 101")
+	ErrBadUpgradeHeader    = errors.New("wsproto: missing or invalid Upgrade header")
+	ErrBadConnectionHeader = errors.New("wsproto: missing or invalid Connection header")
+	ErrBadAcceptKey        = errors.New("wsproto: Sec-WebSocket-Accept mismatch")
+	ErrBadVersion          = errors.New("wsproto: unsupported Sec-WebSocket-Version")
+	ErrMissingKey          = errors.New("wsproto: missing Sec-WebSocket-Key")
+	ErrNotGET              = errors.New("wsproto: handshake request method is not GET")
+)
+
+// ComputeAccept derives the Sec-WebSocket-Accept header value from the
+// client's Sec-WebSocket-Key per RFC 6455 §4.2.2.
+func ComputeAccept(key string) string {
+	h := sha1.Sum([]byte(key + websocketGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// GenerateKey produces a random 16-byte base64 Sec-WebSocket-Key using rng
+// (which may be deterministic for reproducible crawls).
+func GenerateKey(rng *rand.Rand) string {
+	var b [16]byte
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return base64.StdEncoding.EncodeToString(b[:])
+}
+
+// headerContainsToken reports whether a comma-separated header value
+// contains tok, case-insensitively (RFC 7230 list semantics).
+func headerContainsToken(value, tok string) bool {
+	for _, part := range strings.Split(value, ",") {
+		if strings.EqualFold(strings.TrimSpace(part), tok) {
+			return true
+		}
+	}
+	return false
+}
+
+// HandshakeRequest is the parsed, validated client opening handshake.
+type HandshakeRequest struct {
+	// Path is the request target.
+	Path string
+	// Host is the Host header value (virtual host).
+	Host string
+	// Key is the Sec-WebSocket-Key offered by the client.
+	Key string
+	// Origin is the Origin header, if present.
+	Origin string
+	// Protocols are the offered subprotocols in order.
+	Protocols []string
+	// Header holds all request headers.
+	Header http.Header
+}
+
+// writeClientHandshake writes the opening handshake request line and
+// headers for u to w. extra headers are appended verbatim.
+func writeClientHandshake(w *bufio.Writer, u *urlutil.URL, key string, extra http.Header) error {
+	target := u.Path
+	if u.Query != "" {
+		target += "?" + u.Query
+	}
+	fmt.Fprintf(w, "GET %s HTTP/1.1\r\n", target)
+	fmt.Fprintf(w, "Host: %s\r\n", u.Host)
+	fmt.Fprintf(w, "Upgrade: websocket\r\n")
+	fmt.Fprintf(w, "Connection: Upgrade\r\n")
+	fmt.Fprintf(w, "Sec-WebSocket-Key: %s\r\n", key)
+	fmt.Fprintf(w, "Sec-WebSocket-Version: 13\r\n")
+	for k, vs := range extra {
+		ck := textproto.CanonicalMIMEHeaderKey(k)
+		switch ck {
+		case "Host", "Upgrade", "Connection", "Sec-Websocket-Key", "Sec-Websocket-Version":
+			continue // fixed by the protocol
+		}
+		for _, v := range vs {
+			fmt.Fprintf(w, "%s: %s\r\n", ck, v)
+		}
+	}
+	fmt.Fprintf(w, "\r\n")
+	return w.Flush()
+}
+
+// readServerHandshake reads and validates the server's 101 response.
+func readServerHandshake(r *bufio.Reader, key string) (http.Header, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("wsproto: read status line: %w", err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.1") {
+		return nil, fmt.Errorf("wsproto: malformed status line %q", line)
+	}
+	if parts[1] != "101" {
+		return nil, fmt.Errorf("%w: got %s", ErrBadHandshakeStatus, parts[1])
+	}
+	tp := textproto.NewReader(r)
+	mime, err := tp.ReadMIMEHeader()
+	if err != nil {
+		return nil, fmt.Errorf("wsproto: read response headers: %w", err)
+	}
+	hdr := http.Header(mime)
+	if !strings.EqualFold(hdr.Get("Upgrade"), "websocket") {
+		return nil, ErrBadUpgradeHeader
+	}
+	if !headerContainsToken(hdr.Get("Connection"), "Upgrade") {
+		return nil, ErrBadConnectionHeader
+	}
+	if hdr.Get("Sec-Websocket-Accept") != ComputeAccept(key) {
+		return nil, ErrBadAcceptKey
+	}
+	return hdr, nil
+}
+
+// readClientHandshake reads and validates a client opening handshake from
+// r (server side).
+func readClientHandshake(r *bufio.Reader) (*HandshakeRequest, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("wsproto: read request line: %w", err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("wsproto: malformed request line %q", line)
+	}
+	if parts[0] != "GET" {
+		return nil, ErrNotGET
+	}
+	tp := textproto.NewReader(r)
+	mime, err := tp.ReadMIMEHeader()
+	if err != nil {
+		return nil, fmt.Errorf("wsproto: read request headers: %w", err)
+	}
+	hdr := http.Header(mime)
+	if !strings.EqualFold(hdr.Get("Upgrade"), "websocket") {
+		return nil, ErrBadUpgradeHeader
+	}
+	if !headerContainsToken(hdr.Get("Connection"), "Upgrade") {
+		return nil, ErrBadConnectionHeader
+	}
+	if hdr.Get("Sec-Websocket-Version") != "13" {
+		return nil, ErrBadVersion
+	}
+	key := hdr.Get("Sec-Websocket-Key")
+	if key == "" {
+		return nil, ErrMissingKey
+	}
+	hs := &HandshakeRequest{
+		Path:   parts[1],
+		Host:   hdr.Get("Host"),
+		Key:    key,
+		Origin: hdr.Get("Origin"),
+		Header: hdr,
+	}
+	if protos := hdr.Get("Sec-Websocket-Protocol"); protos != "" {
+		for _, p := range strings.Split(protos, ",") {
+			hs.Protocols = append(hs.Protocols, strings.TrimSpace(p))
+		}
+	}
+	return hs, nil
+}
+
+// writeServerHandshake writes the 101 Switching Protocols response.
+func writeServerHandshake(w *bufio.Writer, key, subprotocol string) error {
+	fmt.Fprintf(w, "HTTP/1.1 101 Switching Protocols\r\n")
+	fmt.Fprintf(w, "Upgrade: websocket\r\n")
+	fmt.Fprintf(w, "Connection: Upgrade\r\n")
+	fmt.Fprintf(w, "Sec-WebSocket-Accept: %s\r\n", ComputeAccept(key))
+	if subprotocol != "" {
+		fmt.Fprintf(w, "Sec-WebSocket-Protocol: %s\r\n", subprotocol)
+	}
+	fmt.Fprintf(w, "\r\n")
+	return w.Flush()
+}

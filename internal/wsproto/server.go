@@ -1,0 +1,82 @@
+package wsproto
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+)
+
+// Accept performs the server side of the opening handshake on a raw
+// network connection that has not yet read the HTTP request, and returns
+// the established Conn plus the parsed handshake. selectProtocol, if
+// non-nil, picks the agreed subprotocol from the client's offer.
+func Accept(nc net.Conn, selectProtocol func(offered []string) string) (*Conn, *HandshakeRequest, error) {
+	br := bufio.NewReader(nc)
+	hs, err := readClientHandshake(br)
+	if err != nil {
+		writeHandshakeError(nc, err)
+		nc.Close()
+		return nil, nil, err
+	}
+	sub := ""
+	if selectProtocol != nil {
+		sub = selectProtocol(hs.Protocols)
+	}
+	bw := bufio.NewWriter(nc)
+	if err := writeServerHandshake(bw, hs.Key, sub); err != nil {
+		nc.Close()
+		return nil, nil, fmt.Errorf("wsproto: send handshake response: %w", err)
+	}
+	conn := newConn(nc, br, false, rand.New(rand.NewSource(1)))
+	conn.Subprotocol = sub
+	return conn, hs, nil
+}
+
+// Upgrade hijacks an http.ResponseWriter whose request is a WebSocket
+// opening handshake and completes the upgrade. It is the bridge between
+// the synthetic web's HTTP server and this protocol implementation.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return nil, ErrNotGET
+	}
+	if !headerContainsToken(r.Header.Get("Connection"), "Upgrade") {
+		http.Error(w, "not a websocket handshake", http.StatusBadRequest)
+		return nil, ErrBadConnectionHeader
+	}
+	if !headerContainsToken(r.Header.Get("Upgrade"), "websocket") {
+		http.Error(w, "not a websocket handshake", http.StatusBadRequest)
+		return nil, ErrBadUpgradeHeader
+	}
+	if r.Header.Get("Sec-Websocket-Version") != "13" {
+		http.Error(w, "unsupported websocket version", http.StatusBadRequest)
+		return nil, ErrBadVersion
+	}
+	key := r.Header.Get("Sec-Websocket-Key")
+	if key == "" {
+		http.Error(w, "missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, ErrMissingKey
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "websocket upgrade unsupported", http.StatusInternalServerError)
+		return nil, fmt.Errorf("wsproto: ResponseWriter does not support hijacking")
+	}
+	nc, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("wsproto: hijack: %w", err)
+	}
+	if err := writeServerHandshake(rw.Writer, key, ""); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wsproto: send handshake response: %w", err)
+	}
+	return newConn(nc, rw.Reader, false, rand.New(rand.NewSource(2))), nil
+}
+
+// writeHandshakeError responds to a malformed opening handshake with a
+// minimal HTTP error before the caller drops the connection.
+func writeHandshakeError(nc net.Conn, err error) {
+	fmt.Fprintf(nc, "HTTP/1.1 400 Bad Request\r\nContent-Type: text/plain\r\nConnection: close\r\n\r\n%v\n", err)
+}
