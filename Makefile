@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The dispatch orchestrator and crawler are heavily concurrent; the
+# race detector is part of the standard gate.
+race:
+	$(GO) test -race ./...
+
+ci: vet build test race
+
+clean:
+	$(GO) clean ./...

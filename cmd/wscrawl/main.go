@@ -5,15 +5,28 @@
 //
 //	wscrawl -out crawl1.json [-era pre|post] [-index N] [-publishers N]
 //	        [-workers N] [-pages N] [-seed S] [-version 57]
+//	        [-checkpoint FILE] [-spool-dir DIR] [-resume] [-retries N]
+//	        [-shards N]
+//
+// With -checkpoint or -spool-dir the crawl runs through the durable
+// orchestrator (internal/dispatch): progress is checkpointed, failed
+// sites are retried with backoff, pages are spooled to sharded JSONL
+// files as they arrive, and -resume continues an interrupted crawl
+// without re-visiting completed sites. The dataset is always written
+// atomically (temp file + rename), so a crash cannot leave a truncated
+// JSON file behind.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/webgen"
 )
 
@@ -27,6 +40,11 @@ func main() {
 		pages      = flag.Int("pages", 15, "page budget per site")
 		seed       = flag.Int64("seed", 20170419, "world seed")
 		version    = flag.Int("version", 0, "browser version (default: 57 pre-patch, 58 post-patch)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint state file (enables the durable orchestrator)")
+		spoolDir   = flag.String("spool-dir", "", "spool shard directory (enables the durable orchestrator)")
+		resume     = flag.Bool("resume", false, "resume an interrupted crawl from its checkpoint")
+		retries    = flag.Int("retries", 0, "per-site attempt budget for the orchestrator (default 3)")
+		shards     = flag.Int("shards", 0, "spool shard count (default 8)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -57,22 +75,42 @@ func main() {
 		BrowserVersion: bv,
 	}
 	opts := core.Options{Seed: *seed, NumPublishers: *publishers, Workers: *workers, PagesPerSite: *pages}
+
+	if *checkpoint != "" || *spoolDir != "" || *resume {
+		cp, sd := *checkpoint, *spoolDir
+		// Derive whichever of the two paths was not given from the
+		// other, so a single flag is enough to go durable.
+		if sd == "" {
+			sd = filepath.Join(filepath.Dir(cp), "spool")
+		}
+		if cp == "" {
+			cp = filepath.Join(sd, "checkpoint.json")
+		}
+		opts.Dispatch = &core.DispatchOptions{
+			CheckpointPath: cp,
+			SpoolDir:       sd,
+			Resume:         *resume,
+			MaxAttempts:    *retries,
+			NumShards:      *shards,
+		}
+	}
+
 	res, err := core.RunCrawl(context.Background(), opts, spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wscrawl:", err)
 		os.Exit(1)
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "wscrawl:", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	if err := res.Dataset.WriteJSON(f); err != nil {
+	if err := dispatch.WriteAtomic(*out, func(w io.Writer) error {
+		return res.Dataset.WriteJSON(w)
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "wscrawl:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wscrawl: %d sites, %d pages, %d sockets, %d A&A domains -> %s\n",
 		len(res.Dataset.Sites), res.Stats.Pages, len(res.Dataset.Sockets), len(res.Dataset.AADomains), *out)
+	if d := res.Dispatch; d != nil {
+		fmt.Fprintf(os.Stderr, "wscrawl: dispatch: %d/%d sites done, %d failed, %d retries, %d lease requeues, %d resumed from checkpoint\n",
+			d.Progress.Done, d.Progress.Total, d.Progress.Failed, d.Progress.Retries, d.Progress.Requeues, d.ResumedDone)
+	}
 }

@@ -8,9 +8,16 @@
 //
 //	wsrepro [-publishers N] [-workers N] [-pages N] [-seed S]
 //	        [-table 1|2|3|4|5|overview|churn] [-figure 1|2|3|4]
-//	        [-json DIR]
+//	        [-json DIR] [-state DIR] [-resume] [-retries N]
 //
 // With no -table/-figure flag the complete report is printed.
+//
+// The four crawls run through the durable orchestrator
+// (internal/dispatch): each crawl keeps a checkpoint and sharded page
+// spool under -state (a temporary directory when unset), failed sites
+// retry with backoff, and an interrupted study resumes with
+// -state DIR -resume — completed crawls are recovered from their spools
+// without re-crawling.
 package main
 
 import (
@@ -37,6 +44,9 @@ func main() {
 		figure     = flag.String("figure", "", "print only one figure: 1..4")
 		jsonDir    = flag.String("json", "", "also write per-crawl datasets as JSON into this directory")
 		csvDir     = flag.String("csv", "", "also write table1/figure3/sockets as CSV into this directory")
+		stateDir   = flag.String("state", "", "orchestrator state directory (checkpoints + spools; default: a temp dir)")
+		resume     = flag.Bool("resume", false, "resume an interrupted study from -state checkpoints")
+		retries    = flag.Int("retries", 0, "per-site attempt budget (default 3)")
 	)
 	flag.Parse()
 
@@ -46,17 +56,49 @@ func main() {
 		return
 	}
 
+	state := *stateDir
+	if state == "" {
+		if *resume {
+			fmt.Fprintln(os.Stderr, "wsrepro: -resume requires -state")
+			os.Exit(2)
+		}
+		tmp, err := os.MkdirTemp("", "wsrepro-state-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsrepro:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(tmp)
+		state = tmp
+	} else if err := os.MkdirAll(state, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "wsrepro:", err)
+		os.Exit(1)
+	}
+
 	opts := core.Options{
 		Seed:          *seed,
 		NumPublishers: *publishers,
 		Workers:       *workers,
 		PagesPerSite:  *pages,
+		Dispatch: &core.DispatchOptions{
+			StateDir:    state,
+			Resume:      *resume,
+			MaxAttempts: *retries,
+		},
 	}
 	start := time.Now()
 	study, err := core.RunStudy(context.Background(), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsrepro:", err)
+		if *stateDir != "" {
+			fmt.Fprintf(os.Stderr, "wsrepro: state kept in %s; rerun with -state %s -resume to continue\n", state, state)
+		}
 		os.Exit(1)
+	}
+	for _, r := range study.Results {
+		if d := r.Dispatch; d != nil {
+			fmt.Fprintf(os.Stderr, "wsrepro: %s: %d/%d sites, %d retries, %d failed, %d resumed\n",
+				r.Spec.Name, d.Progress.Done, d.Progress.Total, d.Progress.Retries, d.Progress.Failed, d.ResumedDone)
+		}
 	}
 	ds := study.Datasets()
 

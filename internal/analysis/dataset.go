@@ -128,6 +128,7 @@ func UnionAASet(datasets ...*Dataset) map[string]bool {
 type Collector struct {
 	Label *labeler.Labeler
 
+	rec     *Recorder
 	mu      sync.Mutex
 	name    string
 	era     string
@@ -143,6 +144,7 @@ type Collector struct {
 func NewCollector(name, era string, index int, lab *labeler.Labeler) *Collector {
 	return &Collector{
 		Label: lab,
+		rec:   NewRecorder(lab),
 		name:  name,
 		era:   era,
 		index: index,
@@ -151,28 +153,18 @@ func NewCollector(name, era string, index int, lab *labeler.Labeler) *Collector 
 	}
 }
 
-// OnPage processes one crawled page: builds the inclusion tree, feeds
-// the labeler, and extracts socket and HTTP records.
+// OnPage processes one crawled page: builds its spool record, feeds the
+// labeler deltas, and folds the record into the dataset under
+// construction.
 func (c *Collector) OnPage(site crawler.Site, pageURL string, res *browser.PageResult) {
-	tree, err := inclusion.Build(res.Trace)
+	rec, err := c.rec.RecordPage(site, pageURL, res)
 	if err != nil {
 		c.mu.Lock()
 		c.errs++
 		c.mu.Unlock()
 		return
 	}
-	c.Label.ObserveTree(tree)
-
-	pageHost := ""
-	if u, err := urlutil.Parse(pageURL); err == nil {
-		pageHost = u.Host
-	}
-
-	var sockets []SocketRecord
-	for _, ws := range tree.Sockets() {
-		sockets = append(sockets, c.socketRecord(site, pageURL, pageHost, ws))
-	}
-	httpAgg := c.httpObservations(tree, pageHost)
+	c.Label.AddObservations(rec.AAObs, rec.NonAAObs, rec.CDNObs)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -182,9 +174,9 @@ func (c *Collector) OnPage(site crawler.Site, pageURL string, res *browser.PageR
 		c.sites[site.Domain] = s
 	}
 	s.Pages++
-	s.Sockets += len(sockets)
-	c.sockets = append(c.sockets, sockets...)
-	for dom, t := range httpAgg {
+	s.Sockets += len(rec.Sockets)
+	c.sockets = append(c.sockets, rec.Sockets...)
+	for dom, t := range rec.HTTP {
 		dst := c.http[dom]
 		if dst == nil {
 			dst = &DomainTraffic{Domain: dom, SentItems: map[string]int{}, RecvClasses: map[string]int{}}
@@ -203,7 +195,7 @@ func (c *Collector) OnPage(site crawler.Site, pageURL string, res *browser.PageR
 
 // socketRecord converts one socket node into a compact record,
 // classifying sent and received content.
-func (c *Collector) socketRecord(site crawler.Site, pageURL, pageHost string, ws *inclusion.Node) SocketRecord {
+func (c *Recorder) socketRecord(site crawler.Site, pageURL, pageHost string, ws *inclusion.Node) SocketRecord {
 	rec := SocketRecord{
 		Site:            site.Domain,
 		Rank:            site.Rank,
@@ -252,7 +244,7 @@ func (c *Collector) socketRecord(site crawler.Site, pageURL, pageHost string, ws
 }
 
 // httpObservations aggregates one tree's HTTP requests per domain.
-func (c *Collector) httpObservations(tree *inclusion.Tree, pageHost string) map[string]*DomainTraffic {
+func (c *Recorder) httpObservations(tree *inclusion.Tree, pageHost string) map[string]*DomainTraffic {
 	out := map[string]*DomainTraffic{}
 	for _, req := range tree.Requests() {
 		dom := c.Label.MapDomain(hostOfURL(req.URL))

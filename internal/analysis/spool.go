@@ -1,0 +1,338 @@
+// Spool records: the durable per-page form of a crawl measurement.
+//
+// The dispatch orchestrator (internal/dispatch) appends one PageRecord
+// per crawled page to sharded JSONL spool files as pages arrive, so a
+// crash loses at most the page being written. MergeShards streams the
+// shards back and folds them into a Dataset without ever holding all
+// pages in memory: per-page records are aggregated on the fly and only
+// the dataset's own output (site summaries, socket records, per-domain
+// HTTP aggregates, label counts) is retained.
+//
+// A PageRecord carries the labeler observation *deltas* its page
+// contributed (A&A hits, non-A&A hits, CDN adjacency counts) rather
+// than any derived label state, so D′ — the a(d) ≥ 0.1·n(d) rule of
+// §3.2 — can be recomputed exactly from the summed deltas at merge
+// time. This is what makes a resumed crawl converge to the same
+// Dataset as an uninterrupted one.
+package analysis
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/browser"
+	"repro/internal/crawler"
+	"repro/internal/inclusion"
+	"repro/internal/labeler"
+	"repro/internal/urlutil"
+)
+
+// PageRecord is one crawled page in spool form: everything the dataset
+// needs from the page, plus the labeler deltas it contributed.
+type PageRecord struct {
+	Site    string `json:"site"`
+	Rank    int    `json:"rank"`
+	PageURL string `json:"pageUrl"`
+	// Sockets are the page's WebSocket observations in tree order.
+	Sockets []SocketRecord `json:"sockets,omitempty"`
+	// HTTP aggregates the page's plain HTTP/S traffic per domain.
+	HTTP map[string]*DomainTraffic `json:"http,omitempty"`
+	// AAObs / NonAAObs are per-domain labeler observation deltas.
+	AAObs    map[string]int `json:"aaObs,omitempty"`
+	NonAAObs map[string]int `json:"nonAaObs,omitempty"`
+	// CDNObs counts opaque-CDN adjacency sightings on this page.
+	CDNObs map[string]int `json:"cdnObs,omitempty"`
+}
+
+// EncodeSpoolRecord writes rec as one JSONL line. The encoding is
+// deterministic (encoding/json sorts map keys), so identical crawls
+// produce byte-identical spool lines.
+func EncodeSpoolRecord(w io.Writer, rec *PageRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("analysis: encode spool record: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// DecodeSpoolLine parses one spool line back into a PageRecord.
+func DecodeSpoolLine(line []byte) (*PageRecord, error) {
+	var rec PageRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return nil, fmt.Errorf("analysis: decode spool record: %w", err)
+	}
+	return &rec, nil
+}
+
+// Recorder converts live page loads into PageRecords. It reads the
+// labeler's rule lists and CDN map but never mutates its counts, so it
+// is safe to share across crawl workers.
+type Recorder struct {
+	Label *labeler.Labeler
+}
+
+// NewRecorder builds a recorder over a configured labeler.
+func NewRecorder(lab *labeler.Labeler) *Recorder { return &Recorder{Label: lab} }
+
+// RecordPage builds the spool record for one crawled page.
+func (r *Recorder) RecordPage(site crawler.Site, pageURL string, res *browser.PageResult) (*PageRecord, error) {
+	tree, err := inclusion.Build(res.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: build inclusion tree for %s: %w", pageURL, err)
+	}
+	aa, non, cdn := r.Label.TagTree(tree)
+
+	pageHost := ""
+	if u, err := urlutil.Parse(pageURL); err == nil {
+		pageHost = u.Host
+	}
+	rec := &PageRecord{Site: site.Domain, Rank: site.Rank, PageURL: pageURL}
+	for _, ws := range tree.Sockets() {
+		rec.Sockets = append(rec.Sockets, r.socketRecord(site, pageURL, pageHost, ws))
+	}
+	rec.HTTP = r.httpObservations(tree, pageHost)
+	if len(aa) > 0 {
+		rec.AAObs = aa
+	}
+	if len(non) > 0 {
+		rec.NonAAObs = non
+	}
+	if len(cdn) > 0 {
+		rec.CDNObs = cdn
+	}
+	return rec, nil
+}
+
+// DatasetMeta names the crawl a merged dataset belongs to.
+type DatasetMeta struct {
+	Name       string
+	Era        string
+	CrawlIndex int
+}
+
+// MergeStats reports what a merge consumed.
+type MergeStats struct {
+	// Shards is the number of spool files read.
+	Shards int
+	// Pages is the number of distinct pages folded into the dataset.
+	Pages int
+	// Duplicates counts spool records skipped because their
+	// (site, pageURL) was already merged — re-crawled sites after a
+	// resume land here.
+	Duplicates int
+	// Truncated counts shards whose final line was incomplete (a crash
+	// mid-append); the partial line is ignored.
+	Truncated int
+}
+
+// MergeShards streams PageRecords out of spool shard files and folds
+// them into a Dataset. Records are deduplicated by (site, pageURL),
+// first occurrence wins — safe because site crawls are deterministic,
+// so a re-crawled page carries an identical record. The output is
+// canonically ordered (sites by rank, sockets by site/page/tree
+// position) and therefore byte-identical across runs regardless of
+// worker scheduling.
+func MergeShards(meta DatasetMeta, paths []string) (*Dataset, MergeStats, error) {
+	agg := newShardMerger(meta)
+	stats := MergeStats{Shards: len(paths)}
+	for _, path := range paths {
+		if err := mergeShardFile(path, agg, &stats); err != nil {
+			return nil, stats, err
+		}
+	}
+	return agg.finalize(), stats, nil
+}
+
+// mergeShardFile streams one shard into the merger. A malformed final
+// line (crash mid-write) is tolerated; malformed interior lines are
+// corruption and fail the merge.
+func mergeShardFile(path string, agg *shardMerger, stats *MergeStats) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("analysis: open shard: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
+	var pending error
+	line := 0
+	for sc.Scan() {
+		if pending != nil {
+			return fmt.Errorf("analysis: shard %s line %d: %w", path, line, pending)
+		}
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		rec, err := DecodeSpoolLine(raw)
+		if err != nil {
+			pending = err // fatal only if more lines follow
+			continue
+		}
+		if agg.fold(rec) {
+			stats.Pages++
+		} else {
+			stats.Duplicates++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("analysis: read shard %s: %w", path, err)
+	}
+	if pending != nil {
+		stats.Truncated++
+	}
+	return nil
+}
+
+// socketSortKey orders merged socket records canonically: by site rank,
+// then site, then page, then position within the page's tree.
+type socketSortKey struct {
+	rank    int
+	site    string
+	pageURL string
+	index   int
+}
+
+func (k socketSortKey) less(o socketSortKey) bool {
+	if k.rank != o.rank {
+		return k.rank < o.rank
+	}
+	if k.site != o.site {
+		return k.site < o.site
+	}
+	if k.pageURL != o.pageURL {
+		return k.pageURL < o.pageURL
+	}
+	return k.index < o.index
+}
+
+// shardMerger is the streaming aggregation state of a merge.
+type shardMerger struct {
+	meta       DatasetMeta
+	seen       map[string]bool
+	sites      map[string]*SiteSummary
+	sockets    []SocketRecord
+	socketKeys []socketSortKey
+	http       map[string]*DomainTraffic
+	aa, non    map[string]int
+	cdn        map[string]int
+}
+
+func newShardMerger(meta DatasetMeta) *shardMerger {
+	return &shardMerger{
+		meta:  meta,
+		seen:  map[string]bool{},
+		sites: map[string]*SiteSummary{},
+		http:  map[string]*DomainTraffic{},
+		aa:    map[string]int{},
+		non:   map[string]int{},
+		cdn:   map[string]int{},
+	}
+}
+
+// fold merges one record; it reports false for duplicates.
+func (m *shardMerger) fold(rec *PageRecord) bool {
+	key := rec.Site + "\x00" + rec.PageURL
+	if m.seen[key] {
+		return false
+	}
+	m.seen[key] = true
+
+	s := m.sites[rec.Site]
+	if s == nil {
+		s = &SiteSummary{Domain: rec.Site, Rank: rec.Rank}
+		m.sites[rec.Site] = s
+	}
+	s.Pages++
+	s.Sockets += len(rec.Sockets)
+	for i, ws := range rec.Sockets {
+		m.sockets = append(m.sockets, ws)
+		m.socketKeys = append(m.socketKeys, socketSortKey{rank: rec.Rank, site: rec.Site, pageURL: rec.PageURL, index: i})
+	}
+	for dom, t := range rec.HTTP {
+		dst := m.http[dom]
+		if dst == nil {
+			dst = &DomainTraffic{Domain: dom, SentItems: map[string]int{}, RecvClasses: map[string]int{}}
+			m.http[dom] = dst
+		}
+		dst.Requests += t.Requests
+		dst.ChainsBlocked += t.ChainsBlocked
+		for k, v := range t.SentItems {
+			dst.SentItems[k] += v
+		}
+		for k, v := range t.RecvClasses {
+			dst.RecvClasses[k] += v
+		}
+	}
+	for d, n := range rec.AAObs {
+		m.aa[d] += n
+	}
+	for d, n := range rec.NonAAObs {
+		m.non[d] += n
+	}
+	for h, n := range rec.CDNObs {
+		m.cdn[h] += n
+	}
+	return true
+}
+
+// finalize assembles the canonical Dataset: derives D′ from the summed
+// deltas with the labeler's threshold rule and sorts every slice.
+func (m *shardMerger) finalize() *Dataset {
+	d := &Dataset{
+		Name:         m.meta.Name,
+		Era:          m.meta.Era,
+		CrawlIndex:   m.meta.CrawlIndex,
+		HTTPByDomain: m.http,
+	}
+	for _, s := range m.sites {
+		d.Sites = append(d.Sites, *s)
+	}
+	sort.Slice(d.Sites, func(i, j int) bool {
+		if d.Sites[i].Rank != d.Sites[j].Rank {
+			return d.Sites[i].Rank < d.Sites[j].Rank
+		}
+		return d.Sites[i].Domain < d.Sites[j].Domain
+	})
+
+	order := make([]int, len(m.sockets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return m.socketKeys[order[a]].less(m.socketKeys[order[b]]) })
+	d.Sockets = make([]SocketRecord, 0, len(m.sockets))
+	for _, i := range order {
+		d.Sockets = append(d.Sockets, m.sockets[i])
+	}
+
+	// D′ under the §3.2 threshold, from the merged observation deltas.
+	for dom, a := range m.aa {
+		if a == 0 {
+			continue
+		}
+		if float64(a) >= labeler.Threshold*float64(m.non[dom]) {
+			d.AADomains = append(d.AADomains, dom)
+		}
+	}
+	sort.Strings(d.AADomains)
+
+	// CDN candidates most-frequent first, mirroring labeler ordering.
+	for h := range m.cdn {
+		d.CDNCandidates = append(d.CDNCandidates, h)
+	}
+	sort.Slice(d.CDNCandidates, func(i, j int) bool {
+		hi, hj := d.CDNCandidates[i], d.CDNCandidates[j]
+		if m.cdn[hi] != m.cdn[hj] {
+			return m.cdn[hi] > m.cdn[hj]
+		}
+		return hi < hj
+	})
+	return d
+}

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/crawler"
+	"repro/internal/filterlist"
+	"repro/internal/labeler"
+	"repro/internal/webgen"
+	"repro/internal/webserver"
+)
+
+func samplePageRecord() *PageRecord {
+	return &PageRecord{
+		Site: "pub.com", Rank: 7, PageURL: "http://pub.com/p",
+		Sockets: []SocketRecord{{
+			Site: "pub.com", Rank: 7, PageURL: "http://pub.com/p",
+			URL: "ws://tracker.com/ws", ReceiverDomain: "tracker.com",
+			InitiatorDomain: "tracker.com",
+			ChainDomains:    []string{"pub.com", "tracker.com"},
+			CrossOrigin:     true, HandshakeOK: true,
+			FramesSent: 2, FramesRecv: 1,
+		}},
+		HTTP: map[string]*DomainTraffic{
+			"cdn.com": {Domain: "cdn.com", Requests: 4, SentItems: map[string]int{"user-agent": 4}},
+		},
+		AAObs:    map[string]int{"tracker.com": 1},
+		NonAAObs: map[string]int{"cdn.com": 4},
+		CDNObs:   map[string]int{"d1abc.cloudfront.net": 1},
+	}
+}
+
+func TestSpoolRecordRoundTrip(t *testing.T) {
+	rec := samplePageRecord()
+	var buf bytes.Buffer
+	if err := EncodeSpoolRecord(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	line := bytes.TrimSuffix(buf.Bytes(), []byte("\n"))
+	if bytes.ContainsRune(line, '\n') {
+		t.Fatal("encoded record spans multiple lines")
+	}
+	got, err := DecodeSpoolLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, got) {
+		t.Errorf("roundtrip mismatch:\n in: %+v\nout: %+v", rec, got)
+	}
+
+	// Deterministic bytes: encoding the same record twice is identical.
+	var buf2 bytes.Buffer
+	EncodeSpoolRecord(&buf2, samplePageRecord())
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func writeShard(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "shard-000.jsonl")
+	var buf bytes.Buffer
+	for _, l := range lines {
+		buf.WriteString(l)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func encodeLine(t *testing.T, rec *PageRecord) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeSpoolRecord(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestMergeShardsDedupesByPage(t *testing.T) {
+	first := samplePageRecord()
+	dup := samplePageRecord()
+	dup.HTTP["cdn.com"].Requests = 999 // must lose: first occurrence wins
+	other := samplePageRecord()
+	other.PageURL = "http://pub.com/q"
+
+	path := writeShard(t,
+		encodeLine(t, first), encodeLine(t, dup), encodeLine(t, other))
+	ds, stats, err := MergeShards(DatasetMeta{Name: "c"}, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pages != 2 || stats.Duplicates != 1 {
+		t.Errorf("stats = %+v, want 2 pages / 1 duplicate", stats)
+	}
+	if ds.HTTPByDomain["cdn.com"].Requests != 8 {
+		t.Errorf("requests = %d, want 8 (first record kept, duplicate dropped)",
+			ds.HTTPByDomain["cdn.com"].Requests)
+	}
+	if len(ds.Sites) != 1 || ds.Sites[0].Pages != 2 || ds.Sites[0].Sockets != 2 {
+		t.Errorf("sites = %+v", ds.Sites)
+	}
+}
+
+func TestMergeShardsToleratesTornFinalLine(t *testing.T) {
+	path := writeShard(t,
+		encodeLine(t, samplePageRecord()),
+		`{"site":"pub.com","rank":7,"pageUrl":"http://pub.com/tor`) // no newline
+	ds, stats, err := MergeShards(DatasetMeta{Name: "c"}, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pages != 1 || stats.Truncated != 1 {
+		t.Errorf("stats = %+v, want 1 page / 1 truncated", stats)
+	}
+	if len(ds.Sites) != 1 {
+		t.Errorf("sites = %+v", ds.Sites)
+	}
+}
+
+func TestMergeShardsRejectsInteriorCorruption(t *testing.T) {
+	path := writeShard(t,
+		"{corrupt\n",
+		encodeLine(t, samplePageRecord()))
+	if _, _, err := MergeShards(DatasetMeta{Name: "c"}, []string{path}); err == nil {
+		t.Error("interior corruption accepted")
+	}
+}
+
+func TestMergeShardsDerivesAADomainsFromDeltas(t *testing.T) {
+	// tracker.com: 2 A&A obs vs 10 non ⇒ 2 >= 0.1*10, in D′.
+	// almost.com: 1 A&A obs vs 11 non ⇒ 1 < 1.1, out.
+	// quiet.com: only non-A&A obs, out.
+	recs := []*PageRecord{
+		{Site: "a.com", Rank: 1, PageURL: "http://a.com/",
+			AAObs:    map[string]int{"tracker.com": 2, "almost.com": 1},
+			NonAAObs: map[string]int{"tracker.com": 10, "almost.com": 11, "quiet.com": 5}},
+	}
+	path := writeShard(t, encodeLine(t, recs[0]))
+	ds, _, err := MergeShards(DatasetMeta{Name: "c"}, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"tracker.com"}; !reflect.DeepEqual(ds.AADomains, want) {
+		t.Errorf("AADomains = %v, want %v", ds.AADomains, want)
+	}
+}
+
+// TestCollectorAndMergeShardsAgree crawls a small synthetic world twice
+// over the same pages — once through the live Collector, once through
+// Recorder→spool→MergeShards — and requires both paths to yield the
+// same measurement: same site summaries, sockets, HTTP aggregates, and
+// the same derived D′.
+func TestCollectorAndMergeShardsAgree(t *testing.T) {
+	w := webgen.NewWorld(webgen.Config{Seed: 31, NumPublishers: 12, Era: webgen.EraPrePatch})
+	s, err := webserver.Start(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	newLabeler := func() *labeler.Labeler {
+		lab := labeler.New(
+			filterlist.Parse("easylist", w.EasyListText()),
+			filterlist.Parse("easyprivacy", w.EasyPrivacyText()),
+		)
+		lab.SetCDNMap(w.CloudfrontMap())
+		return lab
+	}
+	collector := NewCollector("c", "pre-patch", 0, newLabeler())
+	recorder := NewRecorder(newLabeler())
+	spool := filepath.Join(t.TempDir(), "shard-000.jsonl")
+	f, err := os.Create(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sites := make([]crawler.Site, 0, len(w.Publishers))
+	for _, p := range w.Publishers {
+		sites = append(sites, crawler.Site{Domain: p.Domain, Rank: p.Rank})
+	}
+	cfg := crawler.Config{
+		Workers: 1, PagesPerSite: 3, Seed: 5,
+		SiteBrowser: func(site crawler.Site) *browser.Browser {
+			return browser.New(browser.Config{
+				Version: 57, Seed: crawler.SiteSeed(5, site.Domain),
+				HTTPClient: s.Client(), ResolveWS: s.Resolver(),
+			})
+		},
+		OnPage: func(site crawler.Site, pageURL string, res *browser.PageResult) {
+			collector.OnPage(site, pageURL, res)
+			rec, err := recorder.RecordPage(site, pageURL, res)
+			if err != nil {
+				t.Errorf("RecordPage(%s): %v", pageURL, err)
+				return
+			}
+			if err := EncodeSpoolRecord(f, rec); err != nil {
+				t.Errorf("spool: %v", err)
+			}
+		},
+	}
+	if _, err := crawler.Crawl(context.Background(), sites, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	live := collector.Finalize()
+	merged, stats, err := MergeShards(DatasetMeta{Name: "c", Era: "pre-patch"}, []string{spool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Duplicates != 0 || stats.Truncated != 0 {
+		t.Errorf("merge stats = %+v", stats)
+	}
+
+	if !reflect.DeepEqual(live.Sites, merged.Sites) {
+		t.Errorf("site summaries differ:\nlive:   %+v\nmerged: %+v", live.Sites, merged.Sites)
+	}
+	sameStrings := func(a, b []string) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !sameStrings(live.AADomains, merged.AADomains) {
+		t.Errorf("D' differs:\nlive:   %v\nmerged: %v", live.AADomains, merged.AADomains)
+	}
+	if !sameStrings(live.CDNCandidates, merged.CDNCandidates) {
+		t.Errorf("CDN candidates differ:\nlive:   %v\nmerged: %v", live.CDNCandidates, merged.CDNCandidates)
+	}
+	if !reflect.DeepEqual(live.HTTPByDomain, merged.HTTPByDomain) {
+		t.Error("HTTP aggregates differ")
+	}
+	// The collector keeps sockets in crawl order, the merge in canonical
+	// order; compare them under a common sort.
+	canon := func(in []SocketRecord) []SocketRecord {
+		out := append([]SocketRecord(nil), in...)
+		sort.Slice(out, func(i, j int) bool {
+			a, b := out[i], out[j]
+			if a.Site != b.Site {
+				return a.Site < b.Site
+			}
+			if a.PageURL != b.PageURL {
+				return a.PageURL < b.PageURL
+			}
+			return a.URL < b.URL
+		})
+		return out
+	}
+	if !reflect.DeepEqual(canon(live.Sockets), canon(merged.Sockets)) {
+		t.Errorf("sockets differ: live %d, merged %d", len(live.Sockets), len(merged.Sockets))
+	}
+	// And the paper's headline table must agree between the two paths.
+	if !reflect.DeepEqual(Table1(live), Table1(merged)) {
+		t.Errorf("Table 1 differs:\nlive:   %+v\nmerged: %+v", Table1(live), Table1(merged))
+	}
+}

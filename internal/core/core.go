@@ -15,12 +15,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/browser"
 	"repro/internal/crawler"
+	"repro/internal/dispatch"
 	"repro/internal/filterlist"
 	"repro/internal/labeler"
 	"repro/internal/webgen"
@@ -65,6 +67,49 @@ type Options struct {
 	// Extensions, if non-nil, builds blocking extensions per crawl
 	// worker; the paper crawled with stock Chrome (nil).
 	Extensions func(spec CrawlSpec) []browser.Extension
+	// Dispatch, if non-nil, routes crawls through the durable
+	// orchestrator (internal/dispatch): lease-backed queue, retries,
+	// checkpoint/resume, and sharded spooling.
+	Dispatch *DispatchOptions
+}
+
+// DispatchOptions configures the durable orchestrator path.
+type DispatchOptions struct {
+	// StateDir is the root for per-crawl checkpoints and spool shards
+	// (crawlN.checkpoint.json, spool-crawlN/). Required unless both
+	// CheckpointPath and SpoolDir are set for a single-crawl run.
+	StateDir string
+	// CheckpointPath / SpoolDir override the StateDir-derived layout
+	// for single-crawl use (cmd/wscrawl's -checkpoint / -spool-dir).
+	CheckpointPath string
+	SpoolDir       string
+	// Resume continues an interrupted crawl from its checkpoint.
+	Resume bool
+	// NumShards is the spool shard count (default 8).
+	NumShards int
+	// MaxAttempts is the per-site attempt budget (default 3).
+	MaxAttempts int
+	// LeaseTTL bounds unheartbeated site leases (default 30s).
+	LeaseTTL time.Duration
+	// CheckpointEvery sets the checkpoint cadence in completed sites
+	// (default 8).
+	CheckpointEvery int
+}
+
+// checkpointPath resolves the checkpoint file for one crawl.
+func (d *DispatchOptions) checkpointPath(spec CrawlSpec) string {
+	if d.CheckpointPath != "" {
+		return d.CheckpointPath
+	}
+	return filepath.Join(d.StateDir, fmt.Sprintf("crawl%d.checkpoint.json", spec.CrawlIndex))
+}
+
+// spoolDir resolves the spool directory for one crawl.
+func (d *DispatchOptions) spoolDir(spec CrawlSpec) string {
+	if d.SpoolDir != "" {
+		return d.SpoolDir
+	}
+	return filepath.Join(d.StateDir, fmt.Sprintf("spool-crawl%d", spec.CrawlIndex))
 }
 
 // DefaultOptions returns the laptop-scale defaults.
@@ -82,10 +127,15 @@ type CrawlResult struct {
 	Spec    CrawlSpec
 	Dataset *analysis.Dataset
 	Stats   crawler.Stats
+	// Dispatch carries the orchestrator's extra outcome (retries,
+	// resume counters, failed sites) when the dispatch path ran.
+	Dispatch *dispatch.Result
 }
 
 // RunCrawl generates the world for a crawl spec, serves it, crawls it,
-// and returns the measurement dataset.
+// and returns the measurement dataset. With opts.Dispatch set the crawl
+// runs through the durable orchestrator (checkpointed, retried,
+// resumable); otherwise it is a one-shot in-memory pass.
 func RunCrawl(ctx context.Context, opts Options, spec CrawlSpec) (*CrawlResult, error) {
 	opts = withDefaults(opts)
 	world := webgen.NewWorld(webgen.Config{
@@ -108,13 +158,16 @@ func RunCrawl(ctx context.Context, opts Options, spec CrawlSpec) (*CrawlResult, 
 	lab := labeler.New(easylist, easyprivacy)
 	lab.SetCDNMap(world.CloudfrontMap())
 
-	collector := analysis.NewCollector(spec.Name, spec.Era.String(), spec.CrawlIndex, lab)
-
 	sites := make([]crawler.Site, 0, len(world.Publishers))
 	for _, p := range world.Publishers {
 		sites = append(sites, crawler.Site{Domain: p.Domain, Rank: p.Rank})
 	}
 
+	if opts.Dispatch != nil {
+		return runCrawlDispatch(ctx, opts, spec, server, lab, sites)
+	}
+
+	collector := analysis.NewCollector(spec.Name, spec.Era.String(), spec.CrawlIndex, lab)
 	cfg := crawler.Config{
 		Workers:          opts.Workers,
 		PagesPerSite:     opts.PagesPerSite,
@@ -139,6 +192,52 @@ func RunCrawl(ctx context.Context, opts Options, spec CrawlSpec) (*CrawlResult, 
 		return nil, fmt.Errorf("core: crawl %q: %w", spec.Name, err)
 	}
 	return &CrawlResult{Spec: spec, Dataset: collector.Finalize(), Stats: stats}, nil
+}
+
+// runCrawlDispatch routes one crawl through the durable orchestrator.
+// Browsers are seeded per site (crawler.SiteSeed), so site results are
+// independent of worker assignment and retries — the property that
+// makes resumed crawls converge to the uninterrupted dataset.
+func runCrawlDispatch(ctx context.Context, opts Options, spec CrawlSpec, server *webserver.Server, lab *labeler.Labeler, sites []crawler.Site) (*CrawlResult, error) {
+	d := opts.Dispatch
+	crawlSeed := opts.Seed + int64(spec.CrawlIndex)
+	res, err := dispatch.Run(ctx, dispatch.Config{
+		Name: spec.Name,
+		Meta: analysis.DatasetMeta{
+			Name:       spec.Name,
+			Era:        spec.Era.String(),
+			CrawlIndex: spec.CrawlIndex,
+		},
+		Sites:            sites,
+		Workers:          opts.Workers,
+		PagesPerSite:     opts.PagesPerSite,
+		Seed:             crawlSeed,
+		WaitBetweenPages: opts.WaitBetweenPages,
+		NewBrowser: func(site crawler.Site, attempt int) *browser.Browser {
+			var exts []browser.Extension
+			if opts.Extensions != nil {
+				exts = opts.Extensions(spec)
+			}
+			return browser.New(browser.Config{
+				Version:    spec.BrowserVersion,
+				Seed:       crawler.SiteSeed(crawlSeed, site.Domain),
+				HTTPClient: server.Client(),
+				ResolveWS:  server.Resolver(),
+			}, exts...)
+		},
+		Recorder:        analysis.NewRecorder(lab),
+		SpoolDir:        d.spoolDir(spec),
+		NumShards:       d.NumShards,
+		CheckpointPath:  d.checkpointPath(spec),
+		Resume:          d.Resume,
+		CheckpointEvery: d.CheckpointEvery,
+		Retry:           dispatch.RetryPolicy{MaxAttempts: d.MaxAttempts},
+		LeaseTTL:        d.LeaseTTL,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: crawl %q: %w", spec.Name, err)
+	}
+	return &CrawlResult{Spec: spec, Dataset: res.Dataset, Stats: res.Stats, Dispatch: res}, nil
 }
 
 // Study is the completed four-crawl measurement.

@@ -4,8 +4,13 @@
 // pages when the homepage offers fewer.
 //
 // The crawler is deterministic per (seed, site) and runs sites across a
-// worker pool, each worker owning its own browser instance (one
-// synthetic user per worker, like one Chrome profile per crawler node).
+// worker pool. Sites come from a pluggable Source: a plain slice for
+// one-shot crawls, or a durable lease-backed queue (internal/dispatch)
+// for crawls that must survive crashes and retries. Each worker owns
+// its own browser instance (one synthetic user per worker, like one
+// Chrome profile per crawler node), unless Config.SiteBrowser asks for
+// a fresh browser per site — the mode the dispatch orchestrator uses so
+// a site's results do not depend on which worker crawled it.
 package crawler
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,83 +46,196 @@ type Config struct {
 	// WaitBetweenPages throttles page visits (the paper waited ~60s;
 	// the simulator defaults to 0).
 	WaitBetweenPages time.Duration
-	// NewBrowser builds the browser for a worker. Required.
+	// NewBrowser builds the browser for a worker. Required unless
+	// SiteBrowser is set.
 	NewBrowser func(worker int) *browser.Browser
+	// SiteBrowser, when set, builds a fresh browser per site instead of
+	// one per worker. This makes a site's results independent of worker
+	// assignment and visit order, which the dispatch orchestrator
+	// relies on for deterministic retries and resume.
+	SiteBrowser func(site Site) *browser.Browser
 	// OnPage receives every successfully loaded page. It may be called
 	// concurrently from workers.
 	OnPage func(site Site, pageURL string, res *browser.PageResult)
 }
 
-// Stats summarizes a crawl.
+// Stats summarizes a crawl. Counters are attempt-level: a site that is
+// retried by an external scheduler counts once per attempt.
 type Stats struct {
-	Sites      int64
-	Pages      int64
+	// Sites counts site crawl attempts that actually reached the
+	// network (the homepage visit returned). Sites skipped because the
+	// context was already cancelled are not counted.
+	Sites int64
+	// Pages counts successfully loaded pages.
+	Pages int64
+	// PageErrors counts failed page loads (cancellation excluded).
 	PageErrors int64
+	// SiteErrors counts site attempts that produced no pages: the
+	// homepage failed or the site crawl panicked.
+	SiteErrors int64
+	// SitePanics counts panics recovered inside per-site crawls.
+	SitePanics int64
 }
+
+// SiteError reports a site whose crawl failed outright (its homepage
+// could not be loaded, so no pages were observed).
+type SiteError struct {
+	Site string
+	Err  error
+}
+
+func (e *SiteError) Error() string { return fmt.Sprintf("crawler: site %s: %v", e.Site, e.Err) }
+func (e *SiteError) Unwrap() error { return e.Err }
+
+// PanicError reports a panic recovered during a per-site crawl.
+type PanicError struct {
+	Site  string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("crawler: panic crawling %s: %v", e.Site, e.Value)
+}
+
+// Source yields sites to a crawl's worker pool. Implementations must be
+// safe for concurrent use.
+type Source interface {
+	// Next returns the next site to crawl, blocking until one is
+	// available. ok=false means the source is drained (or ctx is done)
+	// and the worker should exit.
+	Next(ctx context.Context) (site Site, ok bool)
+	// Done reports the outcome of a site crawl: the number of pages
+	// loaded and the error (nil for a completed site, ctx.Err() for a
+	// cancelled one, *SiteError / *PanicError for failures).
+	Done(site Site, pages int, err error)
+}
+
+// sliceSource feeds a fixed site list in order.
+type sliceSource struct {
+	mu    sync.Mutex
+	sites []Site
+	next  int
+}
+
+// SliceSource wraps a fixed site list as a Source.
+func SliceSource(sites []Site) Source { return &sliceSource{sites: sites} }
+
+func (s *sliceSource) Next(ctx context.Context) (Site, bool) {
+	if ctx.Err() != nil {
+		return Site{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.next >= len(s.sites) {
+		return Site{}, false
+	}
+	site := s.sites[s.next]
+	s.next++
+	return site, true
+}
+
+func (s *sliceSource) Done(Site, int, error) {}
 
 // Crawl visits every site and reports aggregate stats. It stops early
 // when ctx is cancelled, returning the stats so far plus ctx.Err().
 func Crawl(ctx context.Context, sites []Site, cfg Config) (Stats, error) {
-	if cfg.NewBrowser == nil {
-		return Stats{}, fmt.Errorf("crawler: Config.NewBrowser is required")
+	return CrawlSource(ctx, SliceSource(sites), cfg)
+}
+
+// CrawlSource runs the worker pool against an arbitrary site source.
+// Workers pull sites with src.Next, crawl them with per-site panic
+// recovery, and report each outcome with src.Done.
+func CrawlSource(ctx context.Context, src Source, cfg Config) (Stats, error) {
+	if cfg.NewBrowser == nil && cfg.SiteBrowser == nil {
+		return Stats{}, fmt.Errorf("crawler: Config.NewBrowser or Config.SiteBrowser is required")
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 8
 	}
-	pagesPer := cfg.PagesPerSite
-	if pagesPer <= 0 {
-		pagesPer = 15
-	}
 
 	var stats Stats
-	jobs := make(chan Site)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			b := cfg.NewBrowser(worker)
-			for site := range jobs {
-				crawlSite(ctx, b, site, pagesPer, cfg, &stats)
+			var b *browser.Browser
+			if cfg.SiteBrowser == nil {
+				b = cfg.NewBrowser(worker)
+			}
+			for {
+				site, ok := src.Next(ctx)
+				if !ok {
+					return
+				}
+				sb := b
+				if cfg.SiteBrowser != nil {
+					sb = cfg.SiteBrowser(site)
+				}
+				pages, err := CrawlSite(ctx, sb, site, cfg, &stats)
+				src.Done(site, pages, err)
 			}
 		}(w)
 	}
-
-feed:
-	for _, s := range sites {
-		select {
-		case jobs <- s:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(jobs)
 	wg.Wait()
 	return stats, ctx.Err()
 }
 
-// crawlSite implements the per-site policy.
-func crawlSite(ctx context.Context, b *browser.Browser, site Site, pagesPer int, cfg Config, stats *Stats) {
+// CrawlSite crawls one site with the given browser: the homepage plus
+// up to cfg.PagesPerSite-1 sampled same-site links. Panics anywhere in
+// the browser/page pipeline are recovered and counted in stats, so a
+// single broken site cannot kill the whole crawl. The returned error is
+// nil for a completed site, ctx.Err() when cancelled (possibly after
+// some pages loaded), a *SiteError when the homepage failed, or a
+// *PanicError after a recovered panic.
+func CrawlSite(ctx context.Context, b *browser.Browser, site Site, cfg Config, stats *Stats) (pages int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddInt64(&stats.SitePanics, 1)
+			atomic.AddInt64(&stats.SiteErrors, 1)
+			err = &PanicError{Site: site.Domain, Value: r, Stack: debug.Stack()}
+		}
+	}()
 	if ctx.Err() != nil {
-		return
+		return 0, ctx.Err()
 	}
-	atomic.AddInt64(&stats.Sites, 1)
+	pagesPer := cfg.PagesPerSite
+	if pagesPer <= 0 {
+		pagesPer = 15
+	}
 	rng := siteRand(cfg.Seed, site.Domain)
 
 	home := "http://" + site.Domain + "/"
-	visited := map[string]bool{}
-	res := visit(ctx, b, site, home, cfg, stats)
-	if res == nil {
-		return
+	res, verr := b.Visit(ctx, home)
+	if ctx.Err() != nil {
+		// A visit that overlapped cancellation may have fetched only
+		// part of the page; discard it rather than record a torn page.
+		return 0, ctx.Err()
 	}
-	visited[home] = true
+	if verr != nil {
+		atomic.AddInt64(&stats.Sites, 1)
+		atomic.AddInt64(&stats.PageErrors, 1)
+		atomic.AddInt64(&stats.SiteErrors, 1)
+		return 0, &SiteError{Site: site.Domain, Err: verr}
+	}
+	atomic.AddInt64(&stats.Sites, 1)
+	atomic.AddInt64(&stats.Pages, 1)
+	if cfg.OnPage != nil {
+		cfg.OnPage(site, home, res)
+	}
+	pages = 1
+	visited := map[string]bool{home: true}
 
 	// The frontier starts with the homepage's links, shuffled; links
 	// found on visited pages top it up when the homepage has fewer
 	// than the budget.
 	frontier := shuffled(rng, res.Links)
-	for len(frontier) > 0 && len(visited) < pagesPer && ctx.Err() == nil {
+	for len(frontier) > 0 && len(visited) < pagesPer {
+		if ctx.Err() != nil {
+			return pages, ctx.Err()
+		}
 		next := frontier[0]
 		frontier = frontier[1:]
 		if visited[next] {
@@ -126,7 +245,7 @@ func crawlSite(ctx context.Context, b *browser.Browser, site Site, pagesPer int,
 			select {
 			case <-time.After(cfg.WaitBetweenPages):
 			case <-ctx.Done():
-				return
+				return pages, ctx.Err()
 			}
 		}
 		res := visit(ctx, b, site, next, cfg, stats)
@@ -134,6 +253,7 @@ func crawlSite(ctx context.Context, b *browser.Browser, site Site, pagesPer int,
 		if res == nil {
 			continue
 		}
+		pages++
 		// Top up the frontier from newly discovered links.
 		if len(visited)+len(frontier) < pagesPer {
 			for _, l := range shuffled(rng, res.Links) {
@@ -143,10 +263,19 @@ func crawlSite(ctx context.Context, b *browser.Browser, site Site, pagesPer int,
 			}
 		}
 	}
+	if ctx.Err() != nil {
+		return pages, ctx.Err()
+	}
+	return pages, nil
 }
 
 func visit(ctx context.Context, b *browser.Browser, site Site, url string, cfg Config, stats *Stats) *browser.PageResult {
 	res, err := b.Visit(ctx, url)
+	if ctx.Err() != nil {
+		// Discard pages whose visit overlapped cancellation: they may be
+		// torn (partially fetched), and the site will be re-crawled.
+		return nil
+	}
 	if err != nil {
 		atomic.AddInt64(&stats.PageErrors, 1)
 		return nil
@@ -170,4 +299,14 @@ func shuffled(rng *rand.Rand, in []string) []string {
 	out := append([]string(nil), in...)
 	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
+}
+
+// SiteSeed derives a per-site browser seed: results for a site become a
+// pure function of (seed, site), independent of worker assignment —
+// the property the dispatch orchestrator needs so retried and resumed
+// sites reproduce their original records exactly.
+func SiteSeed(seed int64, domain string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "site|%d|%s", seed, domain)
+	return int64(h.Sum64())
 }

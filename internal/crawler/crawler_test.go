@@ -2,6 +2,7 @@ package crawler
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -147,6 +148,146 @@ func TestCrawlCancellation(t *testing.T) {
 	}
 	if time.Since(start) > 30*time.Second {
 		t.Error("cancellation did not stop the crawl promptly")
+	}
+}
+
+func TestCrawlSitePanicRecovery(t *testing.T) {
+	w, s := testEnv(t)
+	bad := w.Publishers[1].Domain
+	sites := []Site{
+		{Domain: w.Publishers[0].Domain, Rank: 1},
+		{Domain: bad, Rank: 2},
+		{Domain: w.Publishers[2].Domain, Rank: 3},
+	}
+	var mu sync.Mutex
+	crawled := map[string]int{}
+	var siteErrs []error
+	cfg := Config{
+		Workers: 1, PagesPerSite: 3, Seed: 7,
+		SiteBrowser: func(site Site) *browser.Browser {
+			if site.Domain == bad {
+				// nil HTTPClient: the first fetch panics.
+				return browser.New(browser.Config{Version: 57, Seed: 1})
+			}
+			return browser.New(browser.Config{
+				Version: 57, Seed: SiteSeed(7, site.Domain),
+				HTTPClient: s.Client(), ResolveWS: s.Resolver(),
+			})
+		},
+		OnPage: func(site Site, _ string, _ *browser.PageResult) {
+			mu.Lock()
+			crawled[site.Domain]++
+			mu.Unlock()
+		},
+	}
+	var stats Stats
+	for _, site := range sites {
+		b := cfg.SiteBrowser(site)
+		_, err := CrawlSite(context.Background(), b, site, cfg, &stats)
+		if err != nil {
+			siteErrs = append(siteErrs, err)
+		}
+	}
+	if stats.SitePanics != 1 {
+		t.Errorf("SitePanics = %d, want 1", stats.SitePanics)
+	}
+	if stats.SiteErrors != 1 {
+		t.Errorf("SiteErrors = %d, want 1", stats.SiteErrors)
+	}
+	if len(siteErrs) != 1 {
+		t.Fatalf("site errors = %v", siteErrs)
+	}
+	var pe *PanicError
+	if !errors.As(siteErrs[0], &pe) || pe.Site != bad {
+		t.Errorf("err = %v, want PanicError for %s", siteErrs[0], bad)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+	// The broken site must not take down its neighbours.
+	if crawled[sites[0].Domain] == 0 || crawled[sites[2].Domain] == 0 {
+		t.Errorf("good sites not crawled: %v", crawled)
+	}
+	if crawled[bad] != 0 {
+		t.Errorf("panicked site produced pages: %v", crawled)
+	}
+}
+
+func TestCrawlPanicDoesNotKillCrawl(t *testing.T) {
+	w, s := testEnv(t)
+	bad := w.Publishers[1].Domain
+	sites := []Site{
+		{Domain: w.Publishers[0].Domain, Rank: 1},
+		{Domain: bad, Rank: 2},
+		{Domain: w.Publishers[2].Domain, Rank: 3},
+	}
+	cfg := Config{
+		Workers: 2, PagesPerSite: 2, Seed: 7,
+		SiteBrowser: func(site Site) *browser.Browser {
+			if site.Domain == bad {
+				return browser.New(browser.Config{Version: 57, Seed: 1})
+			}
+			return browser.New(browser.Config{
+				Version: 57, Seed: SiteSeed(7, site.Domain),
+				HTTPClient: s.Client(), ResolveWS: s.Resolver(),
+			})
+		},
+	}
+	stats, err := Crawl(context.Background(), sites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SitePanics != 1 {
+		t.Errorf("SitePanics = %d, want 1", stats.SitePanics)
+	}
+	if stats.Sites != 2 {
+		t.Errorf("Sites = %d, want 2 (panicked site never reached the network)", stats.Sites)
+	}
+}
+
+func TestCrawlCancellationStatsConsistent(t *testing.T) {
+	w, s := testEnv(t)
+	sites := make([]Site, 0, len(w.Publishers))
+	for _, p := range w.Publishers {
+		sites = append(sites, Site{Domain: p.Domain, Rank: p.Rank})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var recorded int64
+	recordedSites := map[string]bool{}
+	cfg := Config{
+		Workers: 3, PagesPerSite: 10, Seed: 1,
+		SiteBrowser: func(site Site) *browser.Browser {
+			return browser.New(browser.Config{
+				Version: 57, Seed: SiteSeed(1, site.Domain),
+				HTTPClient: s.Client(), ResolveWS: s.Resolver(),
+			})
+		},
+		OnPage: func(site Site, _ string, _ *browser.PageResult) {
+			mu.Lock()
+			recorded++
+			recordedSites[site.Domain] = true
+			if recorded == 12 {
+				cancel()
+			}
+			mu.Unlock()
+		},
+	}
+	stats, err := Crawl(ctx, sites, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Every counted page was delivered to OnPage and vice versa: the
+	// stats never include torn or dropped pages.
+	if stats.Pages != recorded {
+		t.Errorf("stats.Pages = %d, OnPage calls = %d", stats.Pages, recorded)
+	}
+	if stats.Sites < int64(len(recordedSites)) {
+		t.Errorf("stats.Sites = %d < %d sites seen by OnPage", stats.Sites, len(recordedSites))
+	}
+	if stats.PageErrors != 0 {
+		t.Errorf("PageErrors = %d after cancellation, want 0", stats.PageErrors)
 	}
 }
 

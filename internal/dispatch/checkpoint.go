@@ -1,0 +1,118 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// CheckpointVersion is the on-disk format version.
+const CheckpointVersion = 1
+
+// Checkpoint is the durable progress state of a crawl. It is written
+// atomically (temp file + rename in the same directory), so a crash can
+// never leave a torn checkpoint behind; at worst the file is one
+// generation stale, which resume tolerates because re-crawled pages
+// deduplicate in the spool merge.
+//
+// Format: a single JSON object —
+//
+//	{
+//	  "version": 1,
+//	  "name": "Apr 02-05, 2017",   // crawl identity
+//	  "seed": 20170419,            // study seed (guards mixed resumes)
+//	  "numShards": 8,              // spool shard count (must match)
+//	  "pagesPerSite": 15,
+//	  "totalSites": 600,
+//	  "done": ["a.com", ...],      // completed sites, sorted
+//	  "failed": {"b.com": "..."},  // exhausted sites with last error
+//	  "attempts": {"c.com": 2}     // attempt counts of unfinished sites
+//	}
+type Checkpoint struct {
+	Version      int               `json:"version"`
+	Name         string            `json:"name"`
+	Seed         int64             `json:"seed"`
+	NumShards    int               `json:"numShards"`
+	PagesPerSite int               `json:"pagesPerSite"`
+	TotalSites   int               `json:"totalSites"`
+	Done         []string          `json:"done"`
+	Failed       map[string]string `json:"failed,omitempty"`
+	Attempts     map[string]int    `json:"attempts,omitempty"`
+}
+
+// WriteAtomic persists the checkpoint with temp-file+rename semantics.
+func (c *Checkpoint) WriteAtomic(path string) error {
+	return WriteAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(c)
+	})
+}
+
+// LoadCheckpoint reads a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var c Checkpoint
+	if err := json.NewDecoder(f).Decode(&c); err != nil {
+		return nil, fmt.Errorf("dispatch: decode checkpoint %s: %w", path, err)
+	}
+	if c.Version != CheckpointVersion {
+		return nil, fmt.Errorf("dispatch: checkpoint %s: unsupported version %d", path, c.Version)
+	}
+	return &c, nil
+}
+
+// Compatible verifies that a checkpoint belongs to the crawl being
+// resumed: same identity, seed, shard layout, and page budget.
+func (c *Checkpoint) Compatible(name string, seed int64, numShards, pagesPerSite, totalSites int) error {
+	switch {
+	case c.Name != name:
+		return fmt.Errorf("dispatch: checkpoint is for crawl %q, not %q", c.Name, name)
+	case c.Seed != seed:
+		return fmt.Errorf("dispatch: checkpoint seed %d != configured seed %d", c.Seed, seed)
+	case c.NumShards != numShards:
+		return fmt.Errorf("dispatch: checkpoint has %d spool shards, configured %d", c.NumShards, numShards)
+	case c.PagesPerSite != pagesPerSite:
+		return fmt.Errorf("dispatch: checkpoint page budget %d != configured %d", c.PagesPerSite, pagesPerSite)
+	case c.TotalSites != totalSites:
+		return fmt.Errorf("dispatch: checkpoint covers %d sites, configured %d", c.TotalSites, totalSites)
+	}
+	return nil
+}
+
+// WriteAtomic writes a file via a temp file in the same directory plus
+// os.Rename, so readers never observe a partial write and a crash
+// cannot truncate an existing file. The write callback receives a
+// buffered writer that is flushed and synced before the rename.
+func WriteAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("dispatch: atomic write %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("dispatch: atomic write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("dispatch: atomic write %s: sync: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("dispatch: atomic write %s: close: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("dispatch: atomic write %s: rename: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package dispatch
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cp.json")
+	cp := &Checkpoint{
+		Version:      CheckpointVersion,
+		Name:         "crawl-1",
+		Seed:         42,
+		NumShards:    4,
+		PagesPerSite: 15,
+		TotalSites:   100,
+		Done:         []string{"a.com", "b.com"},
+		Failed:       map[string]string{"c.com": "boom"},
+		Attempts:     map[string]int{"c.com": 3, "d.com": 1},
+	}
+	if err := cp.WriteAtomic(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != cp.Name || got.Seed != cp.Seed || len(got.Done) != 2 || got.Failed["c.com"] != "boom" || got.Attempts["d.com"] != 1 {
+		t.Errorf("roundtrip mismatch: %+v", got)
+	}
+	// No temp droppings.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("leftover files: %v", entries)
+	}
+}
+
+func TestCheckpointCompatible(t *testing.T) {
+	cp := &Checkpoint{Name: "x", Seed: 1, NumShards: 8, PagesPerSite: 15, TotalSites: 10}
+	if err := cp.Compatible("x", 1, 8, 15, 10); err != nil {
+		t.Errorf("compatible rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name                 string
+		seed                 int64
+		shards, pages, total int
+	}{
+		{"y", 1, 8, 15, 10},
+		{"x", 2, 8, 15, 10},
+		{"x", 1, 4, 15, 10},
+		{"x", 1, 8, 5, 10},
+		{"x", 1, 8, 15, 99},
+	} {
+		if err := cp.Compatible(tc.name, tc.seed, tc.shards, tc.pages, tc.total); err == nil {
+			t.Errorf("mismatch %+v accepted", tc)
+		}
+	}
+}
+
+func TestLoadCheckpointRejectsBadVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestWriteAtomicPreservesOldFileOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.json")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "original")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failing writer must leave the original intact and clean up its
+	// temp file.
+	err := WriteAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return errors.New("write failed")
+	})
+	if err == nil || !strings.Contains(err.Error(), "write failed") {
+		t.Fatalf("err = %v", err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "original" {
+		t.Errorf("original clobbered: %q", data)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("temp file left behind: %v", entries)
+	}
+}

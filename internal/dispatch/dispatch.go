@@ -1,0 +1,351 @@
+// Package dispatch is the durable crawl orchestrator: the layer that
+// turns the one-shot in-memory crawler into the multi-day,
+// crash-surviving measurement infrastructure the paper's §3.3 crawls
+// (4 passes over ~100K sites) actually require.
+//
+// It combines four mechanisms:
+//
+//   - a job queue with lease-based claiming: a worker leases a site,
+//     heartbeats while crawling it, and the site is re-queued if the
+//     lease TTL elapses (dead or wedged worker);
+//   - retries with exponential backoff + seeded jitter up to an attempt
+//     budget, with errors classified retryable vs fatal;
+//   - checkpointing to an on-disk state file written atomically
+//     (temp file + rename), so -resume continues an interrupted crawl
+//     without re-visiting completed sites;
+//   - sharded spooling: every crawled page is appended to one of N
+//     JSONL spool files as it arrives, and a streaming merge folds the
+//     shards into an analysis.Dataset without holding all pages in
+//     memory.
+//
+// Determinism: browsers are built per site (crawler.SiteSeed), so a
+// site's records are a pure function of (seed, site) — independent of
+// worker assignment, retry count, and resume boundaries. Two fault-free
+// runs produce byte-identical merged datasets, and a crawl killed
+// mid-run converges, after resume, to exactly the dataset of an
+// uninterrupted run.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/browser"
+	"repro/internal/crawler"
+)
+
+// Config parameterizes an orchestrated crawl.
+type Config struct {
+	// Name identifies the crawl (checkpoint identity).
+	Name string
+	// Meta names the merged dataset.
+	Meta analysis.DatasetMeta
+	// Sites is the full crawl target list, in rank order.
+	Sites []crawler.Site
+	// Workers is the crawl parallelism (default 8).
+	Workers int
+	// PagesPerSite is the per-site page budget (default 15).
+	PagesPerSite int
+	// Seed drives link sampling and backoff jitter.
+	Seed int64
+	// WaitBetweenPages throttles page visits.
+	WaitBetweenPages time.Duration
+	// NewBrowser builds a browser for one site attempt. Seed it with
+	// crawler.SiteSeed (not the attempt) to keep retries deterministic.
+	// Required.
+	NewBrowser func(site crawler.Site, attempt int) *browser.Browser
+	// Recorder converts page loads into spool records. Required.
+	Recorder *analysis.Recorder
+
+	// SpoolDir receives the sharded JSONL spool files. Required.
+	SpoolDir string
+	// NumShards is the spool shard count (default 8).
+	NumShards int
+	// CheckpointPath is the crawl's durable state file. Required.
+	CheckpointPath string
+	// Resume loads CheckpointPath (when present) and skips completed
+	// sites instead of starting from scratch.
+	Resume bool
+	// CheckpointEvery writes the checkpoint after this many site
+	// completions (default 8). A final checkpoint is always written
+	// when Run returns, including on cancellation.
+	CheckpointEvery int
+
+	// Retry is the retry policy (zero value = 3 attempts, 100ms base
+	// backoff doubling to 5s, half-delay jitter).
+	Retry RetryPolicy
+	// LeaseTTL bounds how long a site may go without a heartbeat
+	// (default 30s). Heartbeats are sent per crawled page.
+	LeaseTTL time.Duration
+
+	// OnPage, when set, observes every page after its record has been
+	// durably spooled (progress reporting, fault-injection tests).
+	OnPage func(site crawler.Site, pageURL string)
+	// OnSiteDone, when set, observes every settled site attempt.
+	OnSiteDone func(site crawler.Site, pages int, err error)
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Result is the outcome of an orchestrated crawl.
+type Result struct {
+	// Dataset is the merged measurement output (nil when the run was
+	// cancelled before the merge).
+	Dataset *analysis.Dataset
+	// Stats aggregates the crawler's attempt-level counters.
+	Stats crawler.Stats
+	// Merge describes the shard merge.
+	Merge analysis.MergeStats
+	// Progress is the final queue state.
+	Progress Progress
+	// FailedSites maps permanently failed sites to their last error.
+	FailedSites map[string]string
+	// ResumedDone is how many sites the checkpoint already covered.
+	ResumedDone int
+}
+
+// Run executes the orchestrated crawl: restore checkpoint (on resume),
+// lease sites to workers, spool pages, checkpoint progress, and merge
+// the spool shards into the final dataset. On cancellation it writes a
+// final checkpoint and returns ctx.Err(); a later Resume run continues
+// where it stopped.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.NewBrowser == nil {
+		return nil, fmt.Errorf("dispatch: Config.NewBrowser is required")
+	}
+	if cfg.Recorder == nil {
+		return nil, fmt.Errorf("dispatch: Config.Recorder is required")
+	}
+	if cfg.SpoolDir == "" || cfg.CheckpointPath == "" {
+		return nil, fmt.Errorf("dispatch: SpoolDir and CheckpointPath are required")
+	}
+	if cfg.NumShards <= 0 {
+		cfg.NumShards = 8
+	}
+	if cfg.PagesPerSite <= 0 {
+		cfg.PagesPerSite = 15
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 8
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+
+	queue := NewQueue(cfg.Sites, QueueConfig{
+		LeaseTTL: cfg.LeaseTTL,
+		Retry:    cfg.Retry,
+		Seed:     cfg.Seed,
+		Now:      cfg.now,
+	})
+
+	res := &Result{}
+	resumed := false
+	if cfg.Resume {
+		cp, err := LoadCheckpoint(cfg.CheckpointPath)
+		switch {
+		case err == nil:
+			if cerr := cp.Compatible(cfg.Name, cfg.Seed, cfg.NumShards, cfg.PagesPerSite, len(cfg.Sites)); cerr != nil {
+				return nil, cerr
+			}
+			for _, dom := range cp.Done {
+				queue.MarkDone(dom)
+			}
+			for dom, msg := range cp.Failed {
+				queue.MarkFailed(dom, msg)
+			}
+			for dom, n := range cp.Attempts {
+				queue.SetAttempts(dom, n)
+			}
+			res.ResumedDone = len(cp.Done)
+			resumed = true
+		case isNotExist(err):
+			// Nothing to resume; run from scratch.
+		default:
+			return nil, err
+		}
+	}
+
+	spool, err := OpenSpool(cfg.SpoolDir, cfg.NumShards, resumed)
+	if err != nil {
+		return nil, err
+	}
+	defer spool.Close()
+
+	o := &orchestrator{cfg: cfg, queue: queue, spool: spool}
+	stats, crawlErr := crawler.CrawlSource(ctx, o, crawler.Config{
+		Workers:          cfg.Workers,
+		PagesPerSite:     cfg.PagesPerSite,
+		Seed:             cfg.Seed,
+		WaitBetweenPages: cfg.WaitBetweenPages,
+		SiteBrowser:      o.browserFor,
+		OnPage:           o.onPage,
+	})
+	res.Stats = stats
+
+	// Always leave a fresh checkpoint behind, even (especially) when
+	// cancelled: that is what a later -resume picks up.
+	if cpErr := o.writeCheckpoint(); cpErr != nil && crawlErr == nil {
+		crawlErr = cpErr
+	}
+	if sErr := o.spoolErr(); sErr != nil && crawlErr == nil {
+		crawlErr = sErr
+	}
+	res.Progress = queue.Progress()
+	_, res.FailedSites, _ = queue.Snapshot()
+	if crawlErr != nil {
+		return res, crawlErr
+	}
+
+	// Every append was flushed, so the shards are fully readable here
+	// even before the deferred Close.
+	ds, mstats, err := analysis.MergeShards(cfg.Meta, spool.Paths())
+	if err != nil {
+		return res, err
+	}
+	res.Dataset = ds
+	res.Merge = mstats
+	return res, nil
+}
+
+// orchestrator implements crawler.Source over the queue and owns the
+// spool + checkpoint plumbing.
+type orchestrator struct {
+	cfg   Config
+	queue *Queue
+	spool *Spooler
+
+	mu          sync.Mutex
+	active      map[string]*Lease
+	completions int
+	spoolFailed error
+
+	cpMu sync.Mutex
+}
+
+// Next leases the next site for a worker.
+func (o *orchestrator) Next(ctx context.Context) (crawler.Site, bool) {
+	l, ok := o.queue.Lease(ctx)
+	if !ok {
+		return crawler.Site{}, false
+	}
+	o.mu.Lock()
+	if o.active == nil {
+		o.active = map[string]*Lease{}
+	}
+	o.active[l.Site.Domain] = l
+	o.mu.Unlock()
+	return l.Site, true
+}
+
+// Done settles a site attempt: complete, release (cancelled), or fail
+// (classified + retried by the queue).
+func (o *orchestrator) Done(site crawler.Site, pages int, err error) {
+	o.mu.Lock()
+	l := o.active[site.Domain]
+	delete(o.active, site.Domain)
+	o.mu.Unlock()
+	if l == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		if l.Complete() {
+			o.maybeCheckpoint()
+		}
+	case released(err):
+		l.Release()
+	default:
+		l.Fail(err)
+		o.maybeCheckpoint()
+	}
+	if o.cfg.OnSiteDone != nil {
+		o.cfg.OnSiteDone(site, pages, err)
+	}
+}
+
+// browserFor builds the per-site browser, threading the attempt number
+// through for fault-injection hooks.
+func (o *orchestrator) browserFor(site crawler.Site) *browser.Browser {
+	o.mu.Lock()
+	attempt := 1
+	if l := o.active[site.Domain]; l != nil {
+		attempt = l.Attempt
+	}
+	o.mu.Unlock()
+	return o.cfg.NewBrowser(site, attempt)
+}
+
+// onPage records, spools, and heartbeats one crawled page.
+func (o *orchestrator) onPage(site crawler.Site, pageURL string, res *browser.PageResult) {
+	rec, err := o.cfg.Recorder.RecordPage(site, pageURL, res)
+	if err != nil {
+		return // unparseable page: drop, like the collector path
+	}
+	if err := o.spool.Append(rec); err != nil {
+		o.mu.Lock()
+		if o.spoolFailed == nil {
+			o.spoolFailed = err
+		}
+		o.mu.Unlock()
+		return
+	}
+	o.mu.Lock()
+	l := o.active[site.Domain]
+	o.mu.Unlock()
+	if l != nil {
+		l.Heartbeat()
+	}
+	if o.cfg.OnPage != nil {
+		o.cfg.OnPage(site, pageURL)
+	}
+}
+
+// maybeCheckpoint writes the checkpoint every CheckpointEvery settled
+// sites.
+func (o *orchestrator) maybeCheckpoint() {
+	o.mu.Lock()
+	o.completions++
+	due := o.completions%o.cfg.CheckpointEvery == 0
+	o.mu.Unlock()
+	if due {
+		_ = o.writeCheckpoint() // next periodic write or the final one retries
+	}
+}
+
+// writeCheckpoint snapshots the queue into the checkpoint file.
+func (o *orchestrator) writeCheckpoint() error {
+	o.cpMu.Lock()
+	defer o.cpMu.Unlock()
+	done, failed, attempts := o.queue.Snapshot()
+	cp := &Checkpoint{
+		Version:      CheckpointVersion,
+		Name:         o.cfg.Name,
+		Seed:         o.cfg.Seed,
+		NumShards:    o.cfg.NumShards,
+		PagesPerSite: o.cfg.PagesPerSite,
+		TotalSites:   len(o.cfg.Sites),
+		Done:         done,
+		Failed:       failed,
+		Attempts:     attempts,
+	}
+	return cp.WriteAtomic(o.cfg.CheckpointPath)
+}
+
+// spoolErr returns the first spool append failure, if any.
+func (o *orchestrator) spoolErr() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.spoolFailed
+}
+
+// isNotExist tolerates a missing checkpoint on resume.
+func isNotExist(err error) bool {
+	return errors.Is(err, fs.ErrNotExist)
+}

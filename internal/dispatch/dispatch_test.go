@@ -1,0 +1,350 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/browser"
+	"repro/internal/crawler"
+	"repro/internal/filterlist"
+	"repro/internal/labeler"
+	"repro/internal/webgen"
+	"repro/internal/webserver"
+)
+
+// testEnv is a small synthetic web plus everything a dispatch run
+// needs against it.
+type testEnv struct {
+	world  *webgen.World
+	server *webserver.Server
+	sites  []crawler.Site
+}
+
+func newTestEnv(t *testing.T, publishers int) *testEnv {
+	t.Helper()
+	w := webgen.NewWorld(webgen.Config{Seed: 31, NumPublishers: publishers, Era: webgen.EraPrePatch})
+	s, err := webserver.Start(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	sites := make([]crawler.Site, 0, len(w.Publishers))
+	for _, p := range w.Publishers {
+		sites = append(sites, crawler.Site{Domain: p.Domain, Rank: p.Rank})
+	}
+	return &testEnv{world: w, server: s, sites: sites}
+}
+
+// recorder builds a fresh recorder; the labeler is only read by the
+// dispatch path, never mutated, so per-run instances are equivalent.
+func (e *testEnv) recorder() *analysis.Recorder {
+	lab := labeler.New(
+		filterlist.Parse("easylist", e.world.EasyListText()),
+		filterlist.Parse("easyprivacy", e.world.EasyPrivacyText()),
+	)
+	lab.SetCDNMap(e.world.CloudfrontMap())
+	return analysis.NewRecorder(lab)
+}
+
+const testSeed = 99
+
+func (e *testEnv) goodBrowser(site crawler.Site) *browser.Browser {
+	return browser.New(browser.Config{
+		Version:    57,
+		Seed:       crawler.SiteSeed(testSeed, site.Domain),
+		HTTPClient: e.server.Client(),
+		ResolveWS:  e.server.Resolver(),
+	})
+}
+
+// config returns a baseline dispatch config rooted at dir.
+func (e *testEnv) config(dir string, workers int) Config {
+	return Config{
+		Name:           "test-crawl",
+		Meta:           analysis.DatasetMeta{Name: "test-crawl", Era: "pre-patch", CrawlIndex: 0},
+		Sites:          e.sites,
+		Workers:        workers,
+		PagesPerSite:   3,
+		Seed:           testSeed,
+		NewBrowser:     func(site crawler.Site, attempt int) *browser.Browser { return e.goodBrowser(site) },
+		Recorder:       e.recorder(),
+		SpoolDir:       filepath.Join(dir, "spool"),
+		NumShards:      4,
+		CheckpointPath: filepath.Join(dir, "checkpoint.json"),
+		Retry:          RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond},
+	}
+}
+
+func datasetBytes(t *testing.T, d *analysis.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDeterministicShardsAndDataset: same seed, no faults ⇒ identical
+// spool shard bytes (single worker) and byte-identical merged datasets
+// regardless of worker count.
+func TestDeterministicShardsAndDataset(t *testing.T) {
+	env := newTestEnv(t, 20)
+	run := func(dir string, workers int) *Result {
+		res, err := Run(context.Background(), env.config(dir, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dirA, dirB, dirC := t.TempDir(), t.TempDir(), t.TempDir()
+	resA := run(dirA, 1)
+	resB := run(dirB, 1)
+	resC := run(dirC, 4)
+
+	// Single-worker runs replay the same lease order: shard files are
+	// byte-identical.
+	for i := 0; i < 4; i++ {
+		a, err := os.ReadFile(filepath.Join(dirA, "spool", shardName(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, "spool", shardName(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("shard %d differs between identical runs", i)
+		}
+	}
+
+	// The merged dataset is canonical: identical bytes even across
+	// different worker counts.
+	bytesA := datasetBytes(t, resA.Dataset)
+	if !bytes.Equal(bytesA, datasetBytes(t, resB.Dataset)) {
+		t.Error("datasets differ between identical single-worker runs")
+	}
+	if !bytes.Equal(bytesA, datasetBytes(t, resC.Dataset)) {
+		t.Error("dataset depends on worker count")
+	}
+	if resA.Merge.Duplicates != 0 || resA.Merge.Truncated != 0 {
+		t.Errorf("clean run merge stats: %+v", resA.Merge)
+	}
+	if len(resA.Dataset.Sites) != len(env.sites) {
+		t.Errorf("sites = %d, want %d", len(resA.Dataset.Sites), len(env.sites))
+	}
+}
+
+// TestKillAndResumeConvergesToUninterruptedRun is the acceptance
+// scenario: a crawl killed mid-run, resumed from its checkpoint,
+// produces the same dataset — and the same Table 1 rows — as an
+// uninterrupted run with the same seed.
+func TestKillAndResumeConvergesToUninterruptedRun(t *testing.T) {
+	env := newTestEnv(t, 20)
+
+	fullDir := t.TempDir()
+	full, err := Run(context.Background(), env.config(fullDir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: kill (cancel) after 10 spooled pages, with a
+	// checkpoint after every site so the kill lands between
+	// checkpoints too.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var pages atomic.Int64
+	cfg := env.config(dir, 2)
+	cfg.CheckpointEvery = 1
+	cfg.OnPage = func(crawler.Site, string) {
+		if pages.Add(1) == 10 {
+			cancel()
+		}
+	}
+	res1, err := Run(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	if res1.Dataset != nil {
+		t.Error("cancelled run produced a dataset")
+	}
+	cp, err := LoadCheckpoint(cfg.CheckpointPath)
+	if err != nil {
+		t.Fatalf("no checkpoint after kill: %v", err)
+	}
+	if len(cp.Done) == 0 || len(cp.Done) == len(env.sites) {
+		t.Fatalf("checkpoint done = %d sites, want a strict subset", len(cp.Done))
+	}
+
+	// Resume and converge.
+	cfg2 := env.config(dir, 2)
+	cfg2.CheckpointEvery = 1
+	cfg2.Resume = true
+	res2, err := Run(context.Background(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ResumedDone != len(cp.Done) {
+		t.Errorf("resumed %d sites, checkpoint had %d", res2.ResumedDone, len(cp.Done))
+	}
+	if res2.Stats.Sites >= int64(len(env.sites)) {
+		t.Errorf("resume re-crawled everything: %d site attempts", res2.Stats.Sites)
+	}
+	if !bytes.Equal(datasetBytes(t, full.Dataset), datasetBytes(t, res2.Dataset)) {
+		t.Error("resumed dataset differs from uninterrupted run")
+	}
+	t1Full := analysis.Table1(full.Dataset)
+	t1Resumed := analysis.Table1(res2.Dataset)
+	if !reflect.DeepEqual(t1Full, t1Resumed) {
+		t.Errorf("Table 1 differs:\nfull:    %+v\nresumed: %+v", t1Full, t1Resumed)
+	}
+}
+
+// errTransport fails every request, simulating a down site.
+type errTransport struct{}
+
+func (errTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	return nil, errors.New("connection refused")
+}
+
+// TestRetryRecoversFlakySite: a site whose first attempt fails
+// transiently is retried with backoff and converges to the fault-free
+// dataset.
+func TestRetryRecoversFlakySite(t *testing.T) {
+	env := newTestEnv(t, 12)
+	flaky := env.sites[3].Domain
+
+	cleanDir := t.TempDir()
+	clean, err := Run(context.Background(), env.config(cleanDir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cfg := env.config(dir, 2)
+	cfg.NewBrowser = func(site crawler.Site, attempt int) *browser.Browser {
+		if site.Domain == flaky && attempt == 1 {
+			return browser.New(browser.Config{
+				Version:    57,
+				Seed:       crawler.SiteSeed(testSeed, site.Domain),
+				HTTPClient: &http.Client{Transport: errTransport{}},
+				ResolveWS:  env.server.Resolver(),
+			})
+		}
+		return env.goodBrowser(site)
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Progress.Retries < 1 {
+		t.Errorf("retries = %d, want >= 1", res.Progress.Retries)
+	}
+	if res.Stats.SiteErrors == 0 {
+		t.Error("failed attempt not counted in SiteErrors")
+	}
+	if len(res.FailedSites) != 0 {
+		t.Errorf("failed sites: %v", res.FailedSites)
+	}
+	if !bytes.Equal(datasetBytes(t, clean.Dataset), datasetBytes(t, res.Dataset)) {
+		t.Error("retried run's dataset differs from fault-free run")
+	}
+}
+
+// TestRetryBudgetExhaustion: a permanently dead site fails after its
+// attempt budget and the crawl completes without it.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	env := newTestEnv(t, 8)
+	dead := env.sites[0].Domain
+
+	dir := t.TempDir()
+	cfg := env.config(dir, 2)
+	cfg.Retry.MaxAttempts = 2
+	cfg.NewBrowser = func(site crawler.Site, attempt int) *browser.Browser {
+		if site.Domain == dead {
+			return browser.New(browser.Config{
+				Version:    57,
+				Seed:       crawler.SiteSeed(testSeed, site.Domain),
+				HTTPClient: &http.Client{Transport: errTransport{}},
+				ResolveWS:  env.server.Resolver(),
+			})
+		}
+		return env.goodBrowser(site)
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.FailedSites[dead]; !ok {
+		t.Errorf("dead site not in FailedSites: %v", res.FailedSites)
+	}
+	if res.Progress.Done != len(env.sites)-1 {
+		t.Errorf("done = %d, want %d", res.Progress.Done, len(env.sites)-1)
+	}
+	for _, s := range res.Dataset.Sites {
+		if s.Domain == dead {
+			t.Error("dead site leaked into the dataset")
+		}
+	}
+	// The checkpoint records the permanent failure for later audits.
+	cp, err := LoadCheckpoint(cfg.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cp.Failed[dead]; !ok {
+		t.Errorf("checkpoint failed set: %v", cp.Failed)
+	}
+}
+
+// TestRunValidatesConfig covers the required-field errors.
+func TestRunValidatesConfig(t *testing.T) {
+	env := newTestEnv(t, 2)
+	base := env.config(t.TempDir(), 1)
+
+	missingBrowser := base
+	missingBrowser.NewBrowser = nil
+	if _, err := Run(context.Background(), missingBrowser); err == nil {
+		t.Error("missing NewBrowser accepted")
+	}
+	missingRec := base
+	missingRec.Recorder = nil
+	if _, err := Run(context.Background(), missingRec); err == nil {
+		t.Error("missing Recorder accepted")
+	}
+	missingSpool := base
+	missingSpool.SpoolDir = ""
+	if _, err := Run(context.Background(), missingSpool); err == nil {
+		t.Error("missing SpoolDir accepted")
+	}
+}
+
+// TestResumeRejectsMismatchedCheckpoint: resuming with a different
+// seed or shard layout must fail loudly rather than corrupt the spool.
+func TestResumeRejectsMismatchedCheckpoint(t *testing.T) {
+	env := newTestEnv(t, 4)
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), env.config(dir, 1)); err != nil {
+		t.Fatal(err)
+	}
+	bad := env.config(dir, 1)
+	bad.Resume = true
+	bad.Seed = testSeed + 1
+	if _, err := Run(context.Background(), bad); err == nil {
+		t.Error("seed mismatch accepted on resume")
+	}
+	bad2 := env.config(dir, 1)
+	bad2.Resume = true
+	bad2.NumShards = 2
+	if _, err := Run(context.Background(), bad2); err == nil {
+		t.Error("shard count mismatch accepted on resume")
+	}
+}

@@ -1,0 +1,152 @@
+package dispatch
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/analysis"
+)
+
+// Spooler appends per-page records to sharded JSONL spool files.
+//
+// Layout: <dir>/shard-NNN.jsonl, one file per shard, one JSON-encoded
+// analysis.PageRecord per line. A site's pages always land in the same
+// shard (fnv64a(domain) mod shards), and every append is flushed before
+// it is acknowledged, so a crash loses at most the line being written.
+// On resume, a partially written final line is truncated away before
+// appending continues; its page is re-crawled and re-spooled, and the
+// merge step deduplicates by (site, pageURL).
+type Spooler struct {
+	dir    string
+	shards []*shardFile
+}
+
+type shardFile struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// shardName names shard i's spool file.
+func shardName(i int) string { return fmt.Sprintf("shard-%03d.jsonl", i) }
+
+// OpenSpool opens (or creates) a spool directory with numShards shard
+// files. With resume=false any existing shard files are truncated; with
+// resume=true they are repaired (torn final lines dropped) and opened
+// for append.
+func OpenSpool(dir string, numShards int, resume bool) (*Spooler, error) {
+	if numShards <= 0 {
+		numShards = 8
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dispatch: spool dir: %w", err)
+	}
+	s := &Spooler{dir: dir}
+	for i := 0; i < numShards; i++ {
+		path := filepath.Join(dir, shardName(i))
+		if resume {
+			if err := repairShardTail(path); err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
+		flags := os.O_CREATE | os.O_WRONLY
+		if resume {
+			flags |= os.O_APPEND
+		} else {
+			flags |= os.O_TRUNC
+		}
+		f, err := os.OpenFile(path, flags, 0o644)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("dispatch: open shard: %w", err)
+		}
+		s.shards = append(s.shards, &shardFile{f: f, w: bufio.NewWriter(f)})
+	}
+	return s, nil
+}
+
+// repairShardTail truncates a shard file after its last complete line,
+// dropping any torn tail a crash left behind. A missing file is fine.
+func repairShardTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("dispatch: repair shard %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var complete int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == nil {
+			complete += int64(len(line))
+			continue
+		}
+		if !errors.Is(err, io.EOF) {
+			return fmt.Errorf("dispatch: repair shard %s: %w", path, err)
+		}
+		// A final segment without a newline is a torn write; leave it
+		// out of the kept prefix.
+		break
+	}
+	return f.Truncate(complete)
+}
+
+// NumShards returns the shard count.
+func (s *Spooler) NumShards() int { return len(s.shards) }
+
+// Paths lists the shard files in shard order.
+func (s *Spooler) Paths() []string {
+	out := make([]string, len(s.shards))
+	for i := range s.shards {
+		out[i] = filepath.Join(s.dir, shardName(i))
+	}
+	return out
+}
+
+// ShardFor maps a site domain to its shard index.
+func (s *Spooler) ShardFor(domain string) int {
+	h := fnv.New64a()
+	h.Write([]byte(domain))
+	return int(h.Sum64() % uint64(len(s.shards)))
+}
+
+// Append durably appends one page record to its site's shard. The
+// record is flushed to the OS before Append returns.
+func (s *Spooler) Append(rec *analysis.PageRecord) error {
+	sh := s.shards[s.ShardFor(rec.Site)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := analysis.EncodeSpoolRecord(sh.w, rec); err != nil {
+		return err
+	}
+	return sh.w.Flush()
+}
+
+// Close flushes and closes every shard.
+func (s *Spooler) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if sh == nil {
+			continue
+		}
+		sh.mu.Lock()
+		if err := sh.w.Flush(); err != nil && first == nil {
+			first = err
+		}
+		if err := sh.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}

@@ -87,6 +87,16 @@ func isOpaqueCDNHost(host string) bool {
 // ObserveTree tags every request in a page's inclusion tree and updates
 // the per-domain counts. It also records CDN adjacency candidates.
 func (l *Labeler) ObserveTree(t *inclusion.Tree) {
+	l.AddObservations(l.TagTree(t))
+}
+
+// TagTree tags every request in a page's inclusion tree and returns the
+// per-domain observation deltas without mutating the labeler: A&A hits,
+// non-A&A hits, and opaque-CDN adjacency candidates. The deltas can be
+// folded back in with AddObservations, or spooled to disk and summed at
+// merge time (internal/dispatch uses this for checkpoint/resume).
+func (l *Labeler) TagTree(t *inclusion.Tree) (aa, non, cdn map[string]int) {
+	aa, non, cdn = map[string]int{}, map[string]int{}, map[string]int{}
 	pageHost := ""
 	if u, err := urlutil.Parse(t.PageURL); err == nil {
 		pageHost = u.Host
@@ -99,27 +109,44 @@ func (l *Labeler) ObserveTree(t *inclusion.Tree) {
 			continue
 		}
 		d := l.group.Match(filterlist.Request{URL: u, Type: req.Type, PageHost: pageHost})
-		l.Observe(u.Host, d.Blocked)
+		if dom := l.MapDomain(u.Host); dom != "" {
+			if d.Blocked {
+				aa[dom]++
+			} else {
+				non[dom]++
+			}
+		}
 
 		// Cloudfront adjacency: an opaque CDN host immediately before
 		// or after an A&A resource in load order is a candidate for
 		// manual mapping.
 		host := u.Host
 		if isOpaqueCDNHost(host) && prevDomainAA {
-			l.addCDNCandidate(host)
+			cdn[host]++
 		}
 		if isOpaqueCDNHost(prevHost) && d.Blocked {
-			l.addCDNCandidate(prevHost)
+			cdn[prevHost]++
 		}
 		prevDomainAA = d.Blocked
 		prevHost = host
 	}
+	return aa, non, cdn
 }
 
-func (l *Labeler) addCDNCandidate(host string) {
+// AddObservations folds observation deltas (as produced by TagTree)
+// into the per-domain counts.
+func (l *Labeler) AddObservations(aa, non, cdn map[string]int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.cdnCandidates[host]++
+	for d, n := range aa {
+		l.aa[d] += n
+	}
+	for d, n := range non {
+		l.non[d] += n
+	}
+	for h, n := range cdn {
+		l.cdnCandidates[h] += n
+	}
 }
 
 // Observe records one resource observation: host plus whether the
