@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci clean
+.PHONY: all build vet test race bench-obs ci clean
 
 all: ci
 
@@ -14,9 +14,18 @@ test:
 	$(GO) test ./...
 
 # The dispatch orchestrator and crawler are heavily concurrent; the
-# race detector is part of the standard gate.
+# race detector is part of the standard gate. The second pass pins
+# GOMAXPROCS above the worker counts used in tests so the scheduler
+# actually interleaves dispatch workers, spool writers, and stats
+# observers on separate Ps.
 race:
 	$(GO) test -race ./...
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/dispatch/... ./internal/crawler/... ./internal/obs/...
+
+# Hot-path observability benchmarks. Counter/gauge/histogram ops must
+# report 0 allocs/op; BENCH_obs.json records the accepted baseline.
+bench-obs:
+	$(GO) test ./internal/obs -bench . -benchmem -run '^$$'
 
 ci: vet build test race
 

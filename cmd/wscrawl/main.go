@@ -6,7 +6,7 @@
 //	wscrawl -out crawl1.json [-era pre|post] [-index N] [-publishers N]
 //	        [-workers N] [-pages N] [-seed S] [-version 57]
 //	        [-checkpoint FILE] [-spool-dir DIR] [-resume] [-retries N]
-//	        [-shards N]
+//	        [-shards N] [-metrics-addr HOST:PORT] [-progress DUR]
 //
 // With -checkpoint or -spool-dir the crawl runs through the durable
 // orchestrator (internal/dispatch): progress is checkpointed, failed
@@ -15,6 +15,13 @@
 // without re-visiting completed sites. The dataset is always written
 // atomically (temp file + rename), so a crash cannot leave a truncated
 // JSON file behind.
+//
+// -metrics-addr serves expvar (/debug/vars) and pprof (/debug/pprof)
+// on the given address (":0" picks a port, printed to stderr).
+// -progress prints a crawl progress line to stderr at the given
+// interval: pages/sec, queue depth, retries, and per-stage latency
+// quantiles. Neither affects the output dataset — metrics observe the
+// crawl, they never feed back into it. See OPERATIONS.md.
 package main
 
 import (
@@ -27,30 +34,48 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dispatch"
+	"repro/internal/obs"
 	"repro/internal/webgen"
 )
 
 func main() {
 	var (
-		out        = flag.String("out", "", "output dataset path (required)")
-		eraFlag    = flag.String("era", "pre", "crawl era: pre or post (relative to the Chrome 58 patch)")
-		index      = flag.Int("index", 0, "crawl index (perturbs session randomness)")
-		publishers = flag.Int("publishers", 600, "number of generic publishers")
-		workers    = flag.Int("workers", 8, "parallel crawl workers")
-		pages      = flag.Int("pages", 15, "page budget per site")
-		seed       = flag.Int64("seed", 20170419, "world seed")
-		version    = flag.Int("version", 0, "browser version (default: 57 pre-patch, 58 post-patch)")
-		checkpoint = flag.String("checkpoint", "", "checkpoint state file (enables the durable orchestrator)")
-		spoolDir   = flag.String("spool-dir", "", "spool shard directory (enables the durable orchestrator)")
-		resume     = flag.Bool("resume", false, "resume an interrupted crawl from its checkpoint")
-		retries    = flag.Int("retries", 0, "per-site attempt budget for the orchestrator (default 3)")
-		shards     = flag.Int("shards", 0, "spool shard count (default 8)")
+		out         = flag.String("out", "", "output dataset path (required)")
+		eraFlag     = flag.String("era", "pre", "crawl era: pre or post (relative to the Chrome 58 patch)")
+		index       = flag.Int("index", 0, "crawl index (perturbs session randomness)")
+		publishers  = flag.Int("publishers", 600, "number of generic publishers")
+		workers     = flag.Int("workers", 8, "parallel crawl workers")
+		pages       = flag.Int("pages", 15, "page budget per site")
+		seed        = flag.Int64("seed", 20170419, "world seed")
+		version     = flag.Int("version", 0, "browser version (default: 57 pre-patch, 58 post-patch)")
+		checkpoint  = flag.String("checkpoint", "", "checkpoint state file (enables the durable orchestrator)")
+		spoolDir    = flag.String("spool-dir", "", "spool shard directory (enables the durable orchestrator)")
+		resume      = flag.Bool("resume", false, "resume an interrupted crawl from its checkpoint")
+		retries     = flag.Int("retries", 0, "per-site attempt budget for the orchestrator (default 3)")
+		shards      = flag.Int("shards", 0, "spool shard count (default 8)")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar + pprof on this address (\":0\" picks a port)")
+		progress    = flag.Duration("progress", 0, "print progress to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "wscrawl: -out is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wscrawl:", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "wscrawl: metrics on http://%s/debug/vars (pprof at /debug/pprof/)\n", msrv.Addr())
+	}
+	if *progress > 0 {
+		rep := obs.NewReporter(os.Stderr, *progress, obs.Default)
+		rep.Start()
+		defer rep.Stop()
 	}
 
 	era := webgen.EraPrePatch

@@ -8,7 +8,8 @@
 //
 //	wsrepro [-publishers N] [-workers N] [-pages N] [-seed S]
 //	        [-table 1|2|3|4|5|overview|churn] [-figure 1|2|3|4]
-//	        [-json DIR] [-state DIR] [-resume] [-retries N]
+//	        [-json DIR] [-csv DIR] [-state DIR] [-resume] [-retries N]
+//	        [-metrics-addr HOST:PORT] [-progress DUR]
 //
 // With no -table/-figure flag the complete report is printed.
 //
@@ -18,6 +19,12 @@
 // retry with backoff, and an interrupted study resumes with
 // -state DIR -resume — completed crawls are recovered from their spools
 // without re-crawling.
+//
+// -metrics-addr serves expvar (/debug/vars) and pprof (/debug/pprof)
+// for the whole study; -progress prints periodic crawl progress
+// (pages/sec, queue depth, per-stage latency) to stderr. Both are pure
+// observers: the reproduced tables and figures are byte-identical with
+// or without them. See OPERATIONS.md for the operator's guide.
 package main
 
 import (
@@ -32,23 +39,41 @@ import (
 	"repro/internal/core"
 	"repro/internal/devtools"
 	"repro/internal/inclusion"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		publishers = flag.Int("publishers", 600, "number of generic publishers in the synthetic web")
-		workers    = flag.Int("workers", 8, "parallel crawl workers")
-		pages      = flag.Int("pages", 15, "page budget per site")
-		seed       = flag.Int64("seed", 20170419, "study seed")
-		table      = flag.String("table", "", "print only one table: 1..5, overview, churn")
-		figure     = flag.String("figure", "", "print only one figure: 1..4")
-		jsonDir    = flag.String("json", "", "also write per-crawl datasets as JSON into this directory")
-		csvDir     = flag.String("csv", "", "also write table1/figure3/sockets as CSV into this directory")
-		stateDir   = flag.String("state", "", "orchestrator state directory (checkpoints + spools; default: a temp dir)")
-		resume     = flag.Bool("resume", false, "resume an interrupted study from -state checkpoints")
-		retries    = flag.Int("retries", 0, "per-site attempt budget (default 3)")
+		publishers  = flag.Int("publishers", 600, "number of generic publishers in the synthetic web")
+		workers     = flag.Int("workers", 8, "parallel crawl workers")
+		pages       = flag.Int("pages", 15, "page budget per site")
+		seed        = flag.Int64("seed", 20170419, "study seed")
+		table       = flag.String("table", "", "print only one table: 1..5, overview, churn")
+		figure      = flag.String("figure", "", "print only one figure: 1..4")
+		jsonDir     = flag.String("json", "", "also write per-crawl datasets as JSON into this directory")
+		csvDir      = flag.String("csv", "", "also write table1/figure3/sockets as CSV into this directory")
+		stateDir    = flag.String("state", "", "orchestrator state directory (checkpoints + spools; default: a temp dir)")
+		resume      = flag.Bool("resume", false, "resume an interrupted study from -state checkpoints")
+		retries     = flag.Int("retries", 0, "per-site attempt budget (default 3)")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar + pprof on this address (\":0\" picks a port)")
+		progress    = flag.Duration("progress", 0, "print progress to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsrepro:", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "wsrepro: metrics on http://%s/debug/vars (pprof at /debug/pprof/)\n", msrv.Addr())
+	}
+	if *progress > 0 {
+		rep := obs.NewReporter(os.Stderr, *progress, obs.Default)
+		rep.Start()
+		defer rep.Stop()
+	}
 
 	if *figure == "2" {
 		// Figure 2 is a worked example, not a crawl output.

@@ -23,11 +23,13 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/browser"
 	"repro/internal/crawler"
 	"repro/internal/inclusion"
 	"repro/internal/labeler"
+	"repro/internal/obs"
 	"repro/internal/urlutil"
 )
 
@@ -71,8 +73,11 @@ func DecodeSpoolLine(line []byte) (*PageRecord, error) {
 }
 
 // Recorder converts live page loads into PageRecords. It reads the
-// labeler's rule lists and CDN map but never mutates its counts, so it
-// is safe to share across crawl workers.
+// labeler's rule lists and CDN map but never mutates its counts, so one
+// Recorder is safe to share across all crawl workers concurrently.
+// RecordPage times its two pipeline stages into the obs registry
+// (stage.tree, stage.label); the timings observe the work without
+// influencing the records produced.
 type Recorder struct {
 	Label *labeler.Labeler
 }
@@ -82,11 +87,15 @@ func NewRecorder(lab *labeler.Labeler) *Recorder { return &Recorder{Label: lab} 
 
 // RecordPage builds the spool record for one crawled page.
 func (r *Recorder) RecordPage(site crawler.Site, pageURL string, res *browser.PageResult) (*PageRecord, error) {
+	start := time.Now()
 	tree, err := inclusion.Build(res.Trace)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: build inclusion tree for %s: %w", pageURL, err)
 	}
+	obs.StageTree.ObserveSince(start)
+	start = time.Now()
 	aa, non, cdn := r.Label.TagTree(tree)
+	obs.StageLabel.ObserveSince(start)
 
 	pageHost := ""
 	if u, err := urlutil.Parse(pageURL); err == nil {
@@ -138,7 +147,13 @@ type MergeStats struct {
 // canonically ordered (sites by rank, sockets by site/page/tree
 // position) and therefore byte-identical across runs regardless of
 // worker scheduling.
+//
+// MergeShards reads the shards sequentially in a single goroutine;
+// callers running merges concurrently must use distinct shard sets.
+// Merge throughput is recorded in the obs registry (merge.pages,
+// merge.duplicates, stage.merge).
 func MergeShards(meta DatasetMeta, paths []string) (*Dataset, MergeStats, error) {
+	start := time.Now()
 	agg := newShardMerger(meta)
 	stats := MergeStats{Shards: len(paths)}
 	for _, path := range paths {
@@ -146,7 +161,11 @@ func MergeShards(meta DatasetMeta, paths []string) (*Dataset, MergeStats, error)
 			return nil, stats, err
 		}
 	}
-	return agg.finalize(), stats, nil
+	ds := agg.finalize()
+	obs.StageMerge.ObserveSince(start)
+	obs.MergePages.Add(int64(stats.Pages))
+	obs.MergeDuplicates.Add(int64(stats.Duplicates))
+	return ds, stats, nil
 }
 
 // mergeShardFile streams one shard into the merger. A malformed final

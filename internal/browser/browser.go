@@ -23,6 +23,7 @@ import (
 	"repro/internal/devtools"
 	"repro/internal/dom"
 	"repro/internal/htmlparse"
+	"repro/internal/obs"
 	"repro/internal/payload"
 	"repro/internal/script"
 	"repro/internal/urlutil"
@@ -195,11 +196,16 @@ func (b *Browser) Visit(ctx context.Context, rawURL string) (*PageResult, error)
 
 // fetchDocument gates, fetches, and parses an HTML document.
 func (l *pageLoad) fetchDocument(frameID devtools.FrameID, u *urlutil.URL, init devtools.Initiator) (*dom.Node, bool) {
+	start := time.Now()
 	body, _, ok := l.request(u, devtools.ResourceDocument, frameID, init, "", nil)
+	obs.StageFetch.ObserveSince(start)
 	if !ok {
 		return nil, false
 	}
-	return htmlparse.Parse(string(body)), true
+	start = time.Now()
+	doc := htmlparse.Parse(string(body))
+	obs.StageParse.ObserveSince(start)
+	return doc, true
 }
 
 // processDocument walks a parsed document in order, loading subresources
@@ -335,9 +341,11 @@ func (l *pageLoad) request(u *urlutil.URL, typ devtools.ResourceType, frameID de
 		FrameID:       frameID,
 		FirstPartyURL: l.pageURL.String(),
 	}
+	obs.BrowserRequests.Inc()
 	verdict := l.b.reg.Dispatch(details)
 	if verdict.Cancelled {
 		l.result.Blocked++
+		obs.BrowserBlocked.Inc()
 		l.bus.Emit(devtools.RequestBlocked{
 			RequestID: reqID, URL: u.String(), Type: typ, FrameID: frameID,
 			Initiator: init, Extension: verdict.Extension, Rule: verdict.Rule,
@@ -440,6 +448,7 @@ func (l *pageLoad) openWebSocket(frameID devtools.FrameID, op script.Op, init de
 		allow, rule := g.guard.AllowSocket(l.pageURL.String(), u.String())
 		if !allow {
 			l.result.Blocked++
+			obs.SocketsBlocked.Inc()
 			l.bus.Emit(devtools.RequestBlocked{
 				RequestID: devtools.RequestID(sockID), URL: u.String(),
 				Type: devtools.ResourceWebSocket, FrameID: frameID,
@@ -459,6 +468,7 @@ func (l *pageLoad) openWebSocket(frameID devtools.FrameID, op script.Op, init de
 	verdict := l.b.reg.Dispatch(details)
 	if verdict.Cancelled {
 		l.result.Blocked++
+		obs.SocketsBlocked.Inc()
 		l.bus.Emit(devtools.RequestBlocked{
 			RequestID: devtools.RequestID(sockID), URL: u.String(),
 			Type: devtools.ResourceWebSocket, FrameID: frameID,
@@ -467,6 +477,7 @@ func (l *pageLoad) openWebSocket(frameID devtools.FrameID, op script.Op, init de
 		return
 	}
 
+	obs.SocketsOpened.Inc()
 	l.bus.Emit(devtools.WebSocketCreated{
 		SocketID: sockID, URL: u.String(), FrameID: frameID,
 		Initiator: init, FirstPartyURL: l.pageURL.String(),

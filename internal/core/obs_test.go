@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/webgen"
+)
+
+// datasetBytes runs one dispatched crawl and returns its dataset's
+// exact JSON serialization.
+func datasetBytes(t *testing.T, stateDir string) []byte {
+	t.Helper()
+	res, err := RunCrawl(context.Background(), Options{
+		Seed: 77, NumPublishers: 40, Workers: 6, PagesPerSite: 3,
+		Dispatch: &DispatchOptions{
+			CheckpointPath: filepath.Join(stateDir, "checkpoint.json"),
+			SpoolDir:       filepath.Join(stateDir, "spool"),
+		},
+	}, CrawlSpec{Name: "obs-crawl", Era: webgen.EraPrePatch, CrawlIndex: 0, BrowserVersion: 57})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Dataset.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMetricsDoNotPerturbDataset is the obs determinism invariant:
+// running a crawl with the full observability stack active — live
+// counters, a fast progress reporter, and the expvar/pprof endpoint —
+// produces a byte-identical dataset to a crawl without any of it.
+func TestMetricsDoNotPerturbDataset(t *testing.T) {
+	plain := datasetBytes(t, t.TempDir())
+
+	srv, err := obs.Serve("127.0.0.1:0", obs.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rep := obs.NewReporter(io.Discard, time.Millisecond, obs.Default)
+	rep.Start()
+	observed := datasetBytes(t, t.TempDir())
+	rep.Stop()
+
+	if !bytes.Equal(plain, observed) {
+		t.Fatalf("dataset changed under observation: %d bytes vs %d bytes",
+			len(plain), len(observed))
+	}
+}
+
+// TestCrawlPopulatesMetrics sanity-checks the end-to-end wiring: after a
+// real crawl the well-known counters, queue gauges, and stage
+// histograms are all live.
+func TestCrawlPopulatesMetrics(t *testing.T) {
+	before := obs.Default.Snapshot()
+	datasetBytes(t, t.TempDir())
+	after := obs.Default.Snapshot()
+
+	for _, name := range []string{obs.MPages, obs.MSites, obs.MBrowserRequests,
+		obs.MServerRequests, obs.MSpoolAppends, obs.MCheckpointWrites, obs.MMergePages} {
+		if after.Counters[name] <= before.Counters[name] {
+			t.Errorf("counter %s did not advance (%d -> %d)",
+				name, before.Counters[name], after.Counters[name])
+		}
+	}
+	total := after.Gauges[obs.MQueueTotal]
+	if total < 40 { // 40 publishers plus the world's built-in sites
+		t.Errorf("queue.total = %d, want >= 40", total)
+	}
+	if done := after.Gauges[obs.MQueueDone]; done != total {
+		t.Errorf("queue.done = %d, want %d (all sites settled)", done, total)
+	}
+	for _, name := range []string{obs.MStageFetch, obs.MStageParse, obs.MStageTree,
+		obs.MStageLabel, obs.MStageSpool, obs.MStageCheckpoint, obs.MStageMerge} {
+		if after.Hists[name].Count <= before.Hists[name].Count {
+			t.Errorf("histogram %s has no new observations", name)
+		}
+	}
+}

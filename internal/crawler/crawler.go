@@ -15,6 +15,7 @@ package crawler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/browser"
+	"repro/internal/obs"
 )
 
 // Site is one crawl target.
@@ -61,6 +63,15 @@ type Config struct {
 
 // Stats summarizes a crawl. Counters are attempt-level: a site that is
 // retried by an external scheduler counts once per attempt.
+//
+// Concurrency: workers increment the shared *Stats with atomic adds
+// while the crawl runs. Reading the fields directly is safe only after
+// Crawl/CrawlSource has returned; a concurrent observer (a progress
+// reporter, a test asserting mid-crawl invariants) must go through
+// Snapshot, which loads every counter atomically. The same counters
+// are mirrored to the obs registry (crawl.pages, crawl.page_errors,
+// crawl.sites, crawl.site_errors, crawl.site_panics) for live
+// monitoring without touching Stats at all.
 type Stats struct {
 	// Sites counts site crawl attempts that actually reached the
 	// network (the homepage visit returned). Sites skipped because the
@@ -75,6 +86,18 @@ type Stats struct {
 	SiteErrors int64
 	// SitePanics counts panics recovered inside per-site crawls.
 	SitePanics int64
+}
+
+// Snapshot returns an atomically loaded copy of the counters, safe to
+// call while workers are still incrementing them.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		Sites:      atomic.LoadInt64(&s.Sites),
+		Pages:      atomic.LoadInt64(&s.Pages),
+		PageErrors: atomic.LoadInt64(&s.PageErrors),
+		SiteErrors: atomic.LoadInt64(&s.SiteErrors),
+		SitePanics: atomic.LoadInt64(&s.SitePanics),
+	}
 }
 
 // SiteError reports a site whose crawl failed outright (its homepage
@@ -113,13 +136,35 @@ type Source interface {
 
 // sliceSource feeds a fixed site list in order.
 type sliceSource struct {
-	mu    sync.Mutex
-	sites []Site
-	next  int
+	mu      sync.Mutex
+	sites   []Site
+	next    int
+	settled int
+	failed  int
 }
 
-// SliceSource wraps a fixed site list as a Source.
-func SliceSource(sites []Site) Source { return &sliceSource{sites: sites} }
+// SliceSource wraps a fixed site list as a Source. The source exports
+// queue-depth gauges (queue.total/pending/leased/done/failed) to the
+// obs registry so a plain in-memory crawl shows the same progress line
+// a dispatched one does.
+func SliceSource(sites []Site) Source {
+	s := &sliceSource{sites: sites}
+	s.gauge(obs.MQueueTotal, func() int64 { return int64(len(s.sites)) })
+	s.gauge(obs.MQueuePending, func() int64 { return int64(len(s.sites) - s.next) })
+	s.gauge(obs.MQueueLeased, func() int64 { return int64(s.next - s.settled) })
+	s.gauge(obs.MQueueDone, func() int64 { return int64(s.settled - s.failed) })
+	s.gauge(obs.MQueueFailed, func() int64 { return int64(s.failed) })
+	return s
+}
+
+// gauge registers fn as a function gauge, taking the source lock.
+func (s *sliceSource) gauge(name string, fn func() int64) {
+	obs.Default.GaugeFunc(name, func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return fn()
+	})
+}
 
 func (s *sliceSource) Next(ctx context.Context) (Site, bool) {
 	if ctx.Err() != nil {
@@ -135,7 +180,20 @@ func (s *sliceSource) Next(ctx context.Context) (Site, bool) {
 	return site, true
 }
 
-func (s *sliceSource) Done(Site, int, error) {}
+func (s *sliceSource) Done(_ Site, _ int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.settled++
+	if err != nil && !released(err) {
+		s.failed++
+	}
+}
+
+// released reports whether a site outcome is a cancellation rather
+// than a failure.
+func released(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Crawl visits every site and reports aggregate stats. It stops early
 // when ctx is cancelled, returning the stats so far plus ctx.Err().
@@ -195,6 +253,8 @@ func CrawlSite(ctx context.Context, b *browser.Browser, site Site, cfg Config, s
 		if r := recover(); r != nil {
 			atomic.AddInt64(&stats.SitePanics, 1)
 			atomic.AddInt64(&stats.SiteErrors, 1)
+			obs.CrawlSitePanics.Inc()
+			obs.CrawlSiteErrors.Inc()
 			err = &PanicError{Site: site.Domain, Value: r, Stack: debug.Stack()}
 		}
 	}()
@@ -218,10 +278,15 @@ func CrawlSite(ctx context.Context, b *browser.Browser, site Site, cfg Config, s
 		atomic.AddInt64(&stats.Sites, 1)
 		atomic.AddInt64(&stats.PageErrors, 1)
 		atomic.AddInt64(&stats.SiteErrors, 1)
+		obs.CrawlSites.Inc()
+		obs.CrawlPageErrors.Inc()
+		obs.CrawlSiteErrors.Inc()
 		return 0, &SiteError{Site: site.Domain, Err: verr}
 	}
 	atomic.AddInt64(&stats.Sites, 1)
 	atomic.AddInt64(&stats.Pages, 1)
+	obs.CrawlSites.Inc()
+	obs.CrawlPages.Inc()
 	if cfg.OnPage != nil {
 		cfg.OnPage(site, home, res)
 	}
@@ -278,9 +343,11 @@ func visit(ctx context.Context, b *browser.Browser, site Site, url string, cfg C
 	}
 	if err != nil {
 		atomic.AddInt64(&stats.PageErrors, 1)
+		obs.CrawlPageErrors.Inc()
 		return nil
 	}
 	atomic.AddInt64(&stats.Pages, 1)
+	obs.CrawlPages.Inc()
 	if cfg.OnPage != nil {
 		cfg.OnPage(site, url, res)
 	}

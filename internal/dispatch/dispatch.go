@@ -24,6 +24,22 @@
 // runs produce byte-identical merged datasets, and a crawl killed
 // mid-run converges, after resume, to exactly the dataset of an
 // uninterrupted run.
+//
+// Concurrency contract: Queue, Lease, and Spooler are safe for
+// concurrent use by any number of workers; Run owns the checkpoint
+// writer and serializes snapshots internally, so callers never
+// coordinate around dispatch state themselves. Durability contract:
+// a page is acknowledged only after its spool line is flushed to the
+// OS, checkpoints are atomic (temp file + rename) and therefore at
+// worst one generation stale, and nothing in the package holds crawl
+// results only in memory past those two sinks.
+//
+// Observability: the queue exports depth/retry gauges, and the
+// checkpoint and spool paths record latency histograms, to the obs
+// registry (queue.*, checkpoint.*, spool.*, stage.spool,
+// stage.checkpoint — see DESIGN.md §8). Instrumentation is read-only
+// with respect to crawl data: it never alters records, ordering, or
+// the merged dataset.
 package dispatch
 
 import (
@@ -37,6 +53,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/browser"
 	"repro/internal/crawler"
+	"repro/internal/obs"
 )
 
 // Config parameterizes an orchestrated crawl.
@@ -323,6 +340,11 @@ func (o *orchestrator) maybeCheckpoint() {
 func (o *orchestrator) writeCheckpoint() error {
 	o.cpMu.Lock()
 	defer o.cpMu.Unlock()
+	start := time.Now()
+	defer func() {
+		obs.StageCheckpoint.ObserveSince(start)
+		obs.CheckpointWrites.Inc()
+	}()
 	done, failed, attempts := o.queue.Snapshot()
 	cp := &Checkpoint{
 		Version:      CheckpointVersion,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/crawler"
+	"repro/internal/obs"
 )
 
 // jobState is the lifecycle of one queued site.
@@ -90,7 +91,29 @@ func NewQueue(sites []crawler.Site, cfg QueueConfig) *Queue {
 		q.jobs[s.Domain] = &job{site: s, seq: i}
 		q.order = append(q.order, s.Domain)
 	}
+	q.exportGauges()
 	return q
+}
+
+// exportGauges registers the queue's depth and retry counters as
+// function gauges on the obs registry, so the progress reporter and the
+// expvar endpoint see live queue state. Each gauge snapshots Progress
+// under the queue lock; the reporter cadence (~1/s) keeps that cheap
+// even at 100K sites. A newer queue (the next crawl of a study) simply
+// re-registers the same names and takes the gauges over.
+func (q *Queue) exportGauges() {
+	for name, pick := range map[string]func(Progress) int64{
+		obs.MQueueTotal:    func(p Progress) int64 { return int64(p.Total) },
+		obs.MQueuePending:  func(p Progress) int64 { return int64(p.Pending) },
+		obs.MQueueLeased:   func(p Progress) int64 { return int64(p.Leased) },
+		obs.MQueueDone:     func(p Progress) int64 { return int64(p.Done) },
+		obs.MQueueFailed:   func(p Progress) int64 { return int64(p.Failed) },
+		obs.MQueueRetries:  func(p Progress) int64 { return p.Retries },
+		obs.MQueueRequeues: func(p Progress) int64 { return p.Requeues },
+	} {
+		pick := pick
+		obs.Default.GaugeFunc(name, func() int64 { return pick(q.Progress()) })
+	}
 }
 
 // MarkDone pre-completes a site (checkpoint resume).

@@ -9,8 +9,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/obs"
 )
 
 // Spooler appends per-page records to sharded JSONL spool files.
@@ -67,7 +69,7 @@ func OpenSpool(dir string, numShards int, resume bool) (*Spooler, error) {
 			s.Close()
 			return nil, fmt.Errorf("dispatch: open shard: %w", err)
 		}
-		s.shards = append(s.shards, &shardFile{f: f, w: bufio.NewWriter(f)})
+		s.shards = append(s.shards, &shardFile{f: f, w: bufio.NewWriter(countingWriter{f})})
 	}
 	return s, nil
 }
@@ -120,16 +122,35 @@ func (s *Spooler) ShardFor(domain string) int {
 	return int(h.Sum64() % uint64(len(s.shards)))
 }
 
+// countingWriter counts every byte that reaches a shard file in the
+// spool.bytes metric. It sits under the bufio layer, so the count
+// reflects durably flushed bytes, not buffered ones.
+type countingWriter struct {
+	f *os.File
+}
+
+func (c countingWriter) Write(p []byte) (int, error) {
+	n, err := c.f.Write(p)
+	obs.SpoolBytes.Add(int64(n))
+	return n, err
+}
+
 // Append durably appends one page record to its site's shard. The
 // record is flushed to the OS before Append returns.
 func (s *Spooler) Append(rec *analysis.PageRecord) error {
+	start := time.Now()
 	sh := s.shards[s.ShardFor(rec.Site)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if err := analysis.EncodeSpoolRecord(sh.w, rec); err != nil {
 		return err
 	}
-	return sh.w.Flush()
+	if err := sh.w.Flush(); err != nil {
+		return err
+	}
+	obs.StageSpool.ObserveSince(start)
+	obs.SpoolAppends.Inc()
+	return nil
 }
 
 // Close flushes and closes every shard.

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// servedRegistry is the registry behind the "obs" expvar variable —
+// the most recent one passed to Serve. expvar variables are global and
+// cannot be unpublished, so the published Func dereferences this
+// pointer instead of capturing a registry.
+var servedRegistry atomic.Pointer[Registry]
+
+// publishOnce guards the one-time expvar publication.
+var publishOnce sync.Once
+
+// Server is a running metrics endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP endpoint exposing reg on addr (":0" picks an
+// ephemeral port): expvar at /debug/vars — process-wide vars plus an
+// "obs" object with every registry metric (histograms flattened to
+// .count/.sum_ns/.p50_ns/.p90_ns/.p99_ns) — and the pprof profiler at
+// /debug/pprof/. The endpoint is read-only; it cannot mutate metrics
+// or crawl state.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	servedRegistry.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any {
+			r := servedRegistry.Load()
+			if r == nil {
+				return map[string]int64{}
+			}
+			return r.expvarMap()
+		}))
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listener's address (resolved port for ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestServeExpvarAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MPages).Add(12)
+	r.Histogram(MStageFetch).Observe(time.Millisecond)
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	status, body := get(t, base+"/debug/vars")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", status)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var metrics map[string]int64
+	if err := json.Unmarshal(vars["obs"], &metrics); err != nil {
+		t.Fatalf("obs var is not a metric map: %v\nbody: %s", err, body)
+	}
+	if metrics[MPages] != 12 {
+		t.Errorf("%s = %d, want 12", MPages, metrics[MPages])
+	}
+	if metrics[MStageFetch+".count"] != 1 {
+		t.Errorf("%s.count = %d, want 1", MStageFetch, metrics[MStageFetch+".count"])
+	}
+
+	status, body = get(t, base+"/debug/pprof/")
+	if status != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status=%d body lacks profile index", status)
+	}
+}
+
+// TestServeSwitchesRegistry: a later Serve re-points the global expvar
+// at the new registry (expvar names are process-global and permanent).
+func TestServeSwitchesRegistry(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("only.in.first").Add(1)
+	s1, err := Serve("127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	r2 := NewRegistry()
+	r2.Counter("only.in.second").Add(2)
+	s2, err := Serve("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	_, body := get(t, "http://"+s2.Addr()+"/debug/vars")
+	if !strings.Contains(body, "only.in.second") {
+		t.Error("second registry not served")
+	}
+	if strings.Contains(body, "only.in.first") {
+		t.Error("stale registry still served")
+	}
+}

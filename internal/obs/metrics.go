@@ -1,0 +1,86 @@
+package obs
+
+// Well-known metric names of the crawl pipeline. The scheme is
+// "<subsystem>.<what>"; stage histograms share the "stage." prefix so
+// the reporter can render the pipeline in order. DESIGN.md §8 is the
+// authoritative catalogue.
+const (
+	// Crawler attempt-level counters (mirror crawler.Stats).
+	MPages      = "crawl.pages"
+	MPageErrors = "crawl.page_errors"
+	MSites      = "crawl.sites"
+	MSiteErrors = "crawl.site_errors"
+	MSitePanics = "crawl.site_panics"
+
+	// Site-queue depth gauges. Registered as function gauges by
+	// whichever source feeds the crawl: internal/dispatch's durable
+	// queue exports all of them; the in-memory slice source exports the
+	// subset it can observe.
+	MQueueTotal    = "queue.total"
+	MQueuePending  = "queue.pending"
+	MQueueLeased   = "queue.leased"
+	MQueueDone     = "queue.done"
+	MQueueFailed   = "queue.failed"
+	MQueueRetries  = "queue.retries"
+	MQueueRequeues = "queue.requeues"
+
+	// Durability layer.
+	MCheckpointWrites = "checkpoint.writes"
+	MSpoolAppends     = "spool.appends"
+	MSpoolBytes       = "spool.bytes"
+	MMergePages       = "merge.pages"
+	MMergeDuplicates  = "merge.duplicates"
+
+	// Browser-side traffic counters.
+	MBrowserRequests = "browser.requests"
+	MBrowserBlocked  = "browser.requests_blocked"
+	MSocketsOpened   = "browser.sockets_opened"
+	MSocketsBlocked  = "browser.sockets_blocked"
+
+	// Server-side traffic counters.
+	MServerRequests   = "webserver.http_requests"
+	MServerHandshakes = "webserver.ws_handshakes"
+	MServerMessages   = "webserver.ws_messages"
+
+	// Per-stage latency histograms, in pipeline order.
+	MStageFetch      = "stage.fetch"
+	MStageParse      = "stage.parse"
+	MStageTree       = "stage.tree"
+	MStageLabel      = "stage.label"
+	MStageSpool      = "stage.spool"
+	MStageCheckpoint = "stage.checkpoint"
+	MStageMerge      = "stage.merge"
+)
+
+// The pipeline's well-known metrics, pre-resolved on Default so
+// instrumented packages pay no registry lookup on hot paths.
+var (
+	CrawlPages      = Default.Counter(MPages)
+	CrawlPageErrors = Default.Counter(MPageErrors)
+	CrawlSites      = Default.Counter(MSites)
+	CrawlSiteErrors = Default.Counter(MSiteErrors)
+	CrawlSitePanics = Default.Counter(MSitePanics)
+
+	CheckpointWrites = Default.Counter(MCheckpointWrites)
+	SpoolAppends     = Default.Counter(MSpoolAppends)
+	SpoolBytes       = Default.Counter(MSpoolBytes)
+	MergePages       = Default.Counter(MMergePages)
+	MergeDuplicates  = Default.Counter(MMergeDuplicates)
+
+	BrowserRequests = Default.Counter(MBrowserRequests)
+	BrowserBlocked  = Default.Counter(MBrowserBlocked)
+	SocketsOpened   = Default.Counter(MSocketsOpened)
+	SocketsBlocked  = Default.Counter(MSocketsBlocked)
+
+	ServerRequests   = Default.Counter(MServerRequests)
+	ServerHandshakes = Default.Counter(MServerHandshakes)
+	ServerMessages   = Default.Counter(MServerMessages)
+
+	StageFetch      = Default.Histogram(MStageFetch)
+	StageParse      = Default.Histogram(MStageParse)
+	StageTree       = Default.Histogram(MStageTree)
+	StageLabel      = Default.Histogram(MStageLabel)
+	StageSpool      = Default.Histogram(MStageSpool)
+	StageCheckpoint = Default.Histogram(MStageCheckpoint)
+	StageMerge      = Default.Histogram(MStageMerge)
+)

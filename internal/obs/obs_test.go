@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x") != c {
+		t.Error("second lookup returned a different counter")
+	}
+	if r.Counter("y") == c {
+		t.Error("distinct names share a counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("fn", func() int64 { return 42 })
+	if got := r.Snapshot().Gauges["fn"]; got != 42 {
+		t.Fatalf("func gauge = %d, want 42", got)
+	}
+	// Re-registration replaces: the queue of a new crawl takes over the
+	// name from the previous crawl's queue.
+	r.GaugeFunc("fn", func() int64 { return 7 })
+	if got := r.Snapshot().Gauges["fn"]; got != 7 {
+		t.Fatalf("replaced func gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+	st := h.Stat()
+	if st.Count != 101 {
+		t.Fatalf("count = %d, want 101", st.Count)
+	}
+	if want := 100*time.Millisecond + 100*time.Millisecond; st.Sum != want {
+		t.Fatalf("sum = %v, want %v", st.Sum, want)
+	}
+	// 1ms falls in the (512µs, 1.024ms] bucket: p50 reports its upper
+	// bound.
+	if st.P50 < time.Millisecond || st.P50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want ~1ms (bucket upper bound)", st.P50)
+	}
+	// The single 100ms outlier is past the 99th percentile of 101
+	// observations, so p99 still reports the 1ms bucket.
+	if st.P99 > 2*time.Millisecond {
+		t.Errorf("p99 = %v, want ~1ms", st.P99)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewHistogram()
+	if st := h.Stat(); st.Count != 0 || st.P50 != 0 {
+		t.Errorf("empty histogram stat = %+v", st)
+	}
+	h.Observe(-5 * time.Second) // clamps to zero, lands in first bucket
+	h.Observe(10 * time.Minute) // beyond the last bound: overflow bucket
+	st := h.Stat()
+	if st.Count != 2 {
+		t.Fatalf("count = %d, want 2", st.Count)
+	}
+	if st.P99 <= time.Duration(defaultBounds[len(defaultBounds)-1]) {
+		t.Errorf("p99 = %v, want overflow sentinel past the last bound", st.P99)
+	}
+}
+
+// TestConcurrent exercises every metric type from many goroutines while
+// snapshots run — the -race gate for the registry.
+func TestConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	r.GaugeFunc("f", func() int64 { return c.Value() })
+
+	const workers, iters = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Gauge("a")
+	r.Histogram("c")
+	r.GaugeFunc("d", func() int64 { return 0 })
+	names := r.Names()
+	want := []string{"a", "b", "c", "d"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestExpvarMapFlattensHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Histogram("stage.x").Observe(time.Millisecond)
+	m := r.expvarMap()
+	if m["c"] != 3 {
+		t.Errorf("c = %d", m["c"])
+	}
+	if m["stage.x.count"] != 1 {
+		t.Errorf("stage.x.count = %d", m["stage.x.count"])
+	}
+	if m["stage.x.p50_ns"] == 0 {
+		t.Error("stage.x.p50_ns missing")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"repro/internal/obs"
 	"repro/internal/webgen"
 	"repro/internal/wsproto"
 )
@@ -113,6 +114,7 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.Stats.HTTPRequests.Add(1)
+	obs.ServerRequests.Inc()
 	url := "http://" + host + r.URL.Path
 	if r.URL.RawQuery != "" {
 		url += "?" + r.URL.RawQuery
@@ -145,6 +147,7 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request, host string) {
 		return
 	}
 	s.Stats.WSHandshakes.Add(1)
+	obs.ServerHandshakes.Inc()
 	s.track(conn)
 	go s.serveSocket(conn, ep, query)
 }
@@ -183,6 +186,7 @@ func (s *Server) serveSocket(conn *wsproto.Conn, ep *webgen.WSEndpoint, query st
 			return
 		}
 		s.Stats.WSMessagesSent.Add(1)
+		obs.ServerMessages.Inc()
 	}
 	for {
 		if _, _, err := conn.ReadMessage(); err != nil {
