@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-obs ci clean
+.PHONY: all build vet test race bench-obs lint fmt-check ci clean
 
 all: ci
 
@@ -27,7 +27,17 @@ race:
 bench-obs:
 	$(GO) test ./internal/obs -bench . -benchmem -run '^$$'
 
-ci: vet build test race
+# Project-invariant analyzers (determinism, maporder, atomicfield,
+# observeonly, spanclose). Exits non-zero on any unsuppressed finding;
+# see DESIGN.md §9 for the catalogue and the //lint:allow policy.
+lint:
+	$(GO) run ./cmd/wslint ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+ci: fmt-check vet build lint test race
 
 clean:
 	$(GO) clean ./...

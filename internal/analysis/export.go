@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 )
 
@@ -163,16 +164,12 @@ func ReceiverCategories(datasets ...*Dataset) []CategoryRow {
 		out = append(out, *row)
 	}
 	// Order by socket volume, then name for determinism.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0; j-- {
-			a, b := out[j-1], out[j]
-			if b.Sockets > a.Sockets || (b.Sockets == a.Sockets && b.Category < a.Category) {
-				out[j-1], out[j] = b, a
-			} else {
-				break
-			}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sockets != out[j].Sockets {
+			return out[i].Sockets > out[j].Sockets
 		}
-	}
+		return out[i].Category < out[j].Category
+	})
 	return out
 }
 

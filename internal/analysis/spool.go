@@ -23,7 +23,6 @@ import (
 	"io"
 	"os"
 	"sort"
-	"time"
 
 	"repro/internal/browser"
 	"repro/internal/crawler"
@@ -87,15 +86,16 @@ func NewRecorder(lab *labeler.Labeler) *Recorder { return &Recorder{Label: lab} 
 
 // RecordPage builds the spool record for one crawled page.
 func (r *Recorder) RecordPage(site crawler.Site, pageURL string, res *browser.PageResult) (*PageRecord, error) {
-	start := time.Now()
+	treeSpan := obs.StartSpan(obs.StageTree)
 	tree, err := inclusion.Build(res.Trace)
 	if err != nil {
+		// Failed builds are not a tree-stage sample; the span is dropped.
 		return nil, fmt.Errorf("analysis: build inclusion tree for %s: %w", pageURL, err)
 	}
-	obs.StageTree.ObserveSince(start)
-	start = time.Now()
+	treeSpan.End()
+	labelSpan := obs.StartSpan(obs.StageLabel)
 	aa, non, cdn := r.Label.TagTree(tree)
-	obs.StageLabel.ObserveSince(start)
+	labelSpan.End()
 
 	pageHost := ""
 	if u, err := urlutil.Parse(pageURL); err == nil {
@@ -153,7 +153,7 @@ type MergeStats struct {
 // Merge throughput is recorded in the obs registry (merge.pages,
 // merge.duplicates, stage.merge).
 func MergeShards(meta DatasetMeta, paths []string) (*Dataset, MergeStats, error) {
-	start := time.Now()
+	mergeSpan := obs.StartSpan(obs.StageMerge)
 	agg := newShardMerger(meta)
 	stats := MergeStats{Shards: len(paths)}
 	for _, path := range paths {
@@ -162,7 +162,7 @@ func MergeShards(meta DatasetMeta, paths []string) (*Dataset, MergeStats, error)
 		}
 	}
 	ds := agg.finalize()
-	obs.StageMerge.ObserveSince(start)
+	mergeSpan.End()
 	obs.MergePages.Add(int64(stats.Pages))
 	obs.MergeDuplicates.Add(int64(stats.Duplicates))
 	return ds, stats, nil

@@ -196,15 +196,15 @@ func (b *Browser) Visit(ctx context.Context, rawURL string) (*PageResult, error)
 
 // fetchDocument gates, fetches, and parses an HTML document.
 func (l *pageLoad) fetchDocument(frameID devtools.FrameID, u *urlutil.URL, init devtools.Initiator) (*dom.Node, bool) {
-	start := time.Now()
+	fetchSpan := obs.StartSpan(obs.StageFetch)
 	body, _, ok := l.request(u, devtools.ResourceDocument, frameID, init, "", nil)
-	obs.StageFetch.ObserveSince(start)
+	fetchSpan.End()
 	if !ok {
 		return nil, false
 	}
-	start = time.Now()
+	parseSpan := obs.StartSpan(obs.StageParse)
 	doc := htmlparse.Parse(string(body))
-	obs.StageParse.ObserveSince(start)
+	parseSpan.End()
 	return doc, true
 }
 

@@ -118,22 +118,32 @@ func DetectSent(data []byte) []string {
 // (the reason Table 5 reports User Agent at 100%: every handshake carries
 // one).
 func DetectSentHeaders(header map[string]string) []string {
-	var items []string
+	// Scan the map into flags first, then emit in fixed Table 5 order:
+	// appending inside the range would make the item order depend on
+	// map iteration when several headers match.
+	var ua, cookie, lang bool
 	for k, v := range header {
+		if v == "" {
+			continue
+		}
 		switch strings.ToLower(k) {
 		case "user-agent":
-			if v != "" {
-				items = append(items, SentUserAgent)
-			}
+			ua = true
 		case "cookie":
-			if v != "" {
-				items = append(items, SentCookie)
-			}
+			cookie = true
 		case "accept-language":
-			if v != "" {
-				items = append(items, SentLanguage)
-			}
+			lang = true
 		}
+	}
+	var items []string
+	if ua {
+		items = append(items, SentUserAgent)
+	}
+	if cookie {
+		items = append(items, SentCookie)
+	}
+	if lang {
+		items = append(items, SentLanguage)
 	}
 	return items
 }

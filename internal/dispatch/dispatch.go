@@ -340,9 +340,9 @@ func (o *orchestrator) maybeCheckpoint() {
 func (o *orchestrator) writeCheckpoint() error {
 	o.cpMu.Lock()
 	defer o.cpMu.Unlock()
-	start := time.Now()
+	span := obs.StartSpan(obs.StageCheckpoint)
 	defer func() {
-		obs.StageCheckpoint.ObserveSince(start)
+		span.End()
 		obs.CheckpointWrites.Inc()
 	}()
 	done, failed, attempts := o.queue.Snapshot()

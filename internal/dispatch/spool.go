@@ -9,7 +9,6 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/obs"
@@ -138,7 +137,7 @@ func (c countingWriter) Write(p []byte) (int, error) {
 // Append durably appends one page record to its site's shard. The
 // record is flushed to the OS before Append returns.
 func (s *Spooler) Append(rec *analysis.PageRecord) error {
-	start := time.Now()
+	span := obs.StartSpan(obs.StageSpool)
 	sh := s.shards[s.ShardFor(rec.Site)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -148,7 +147,7 @@ func (s *Spooler) Append(rec *analysis.PageRecord) error {
 	if err := sh.w.Flush(); err != nil {
 		return err
 	}
-	obs.StageSpool.ObserveSince(start)
+	span.End()
 	obs.SpoolAppends.Inc()
 	return nil
 }

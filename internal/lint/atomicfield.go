@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// atomicRegistry maps a normalized type name ("crawler.Stats") to the
+// set of its fields that are accessed through sync/atomic somewhere in
+// the module.
+type atomicRegistry map[string]map[string]bool
+
+// atomicfieldAnalyzer enforces all-or-nothing atomics: once any code
+// touches a struct field via sync/atomic (atomic.AddInt64(&s.F, ...)),
+// every pointer-based access to that field module-wide must be atomic
+// too, except inside the owning type's own Snapshot-prefixed accessors.
+// This is the crawler.Stats class of race: workers atomically increment
+// shared counters while an observer reads them plainly. Accesses
+// through value copies (a Stats returned by Snapshot or by a completed
+// Crawl) are private and stay legal — the analyzer only flags bases it
+// can resolve to a *pointer* of the owning type.
+func atomicfieldAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "atomicfield",
+		Doc:  "forbid plain access to fields that are accessed atomically elsewhere",
+		Run: func(p *Pass) {
+			reg, ok := p.Cache["atomicfield"].(atomicRegistry)
+			if !ok {
+				reg = buildAtomicRegistry(p.All)
+				p.Cache["atomicfield"] = reg
+			}
+			if len(reg) == 0 {
+				return
+			}
+			fieldMap := moduleFieldTypes(p)
+			for _, f := range p.Pkg.Files {
+				atomicName := importName(f, "sync/atomic")
+				for _, fn := range funcDecls(f) {
+					checkAtomicFields(p, fn, atomicName, reg, fieldMap)
+				}
+			}
+		},
+	}
+}
+
+// buildAtomicRegistry scans the whole module for atomic.*(&base.Field,
+// ...) calls whose base resolves to a named type.
+func buildAtomicRegistry(pkgs []*Package) atomicRegistry {
+	reg := atomicRegistry{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			atomicName := importName(f, "sync/atomic")
+			if atomicName == "" {
+				continue
+			}
+			for _, fn := range funcDecls(f) {
+				vars := localVarTypes(fn, pkg.Name)
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if typ, field, ok := atomicFieldArg(call, atomicName, vars); ok {
+						if reg[typ] == nil {
+							reg[typ] = map[string]bool{}
+						}
+						reg[typ][field] = true
+					}
+					return true
+				})
+			}
+		}
+	}
+	return reg
+}
+
+// atomicFieldArg matches atomic.F(&base.Field, ...) and resolves base's
+// type through local inference.
+func atomicFieldArg(call *ast.CallExpr, atomicName string, vars map[string]varInfo) (typ, field string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	x, isIdent := sel.X.(*ast.Ident)
+	if !isIdent || x.Name != atomicName || len(call.Args) == 0 {
+		return "", "", false
+	}
+	addr, isAddr := call.Args[0].(*ast.UnaryExpr)
+	if !isAddr || addr.Op != token.AND {
+		return "", "", false
+	}
+	fieldSel, isField := addr.X.(*ast.SelectorExpr)
+	if !isField {
+		return "", "", false
+	}
+	base, isBase := fieldSel.X.(*ast.Ident)
+	if !isBase {
+		return "", "", false
+	}
+	info, known := vars[base.Name]
+	if !known {
+		return "", "", false
+	}
+	return info.typ, fieldSel.Sel.Name, true
+}
+
+// moduleFieldTypes maps struct field names to their declared named
+// types across the whole module, so selector bases like res.Stats
+// resolve without go/types. Field names declared with different types
+// in different structs are dropped as ambiguous.
+func moduleFieldTypes(p *Pass) map[string]varInfo {
+	if cached, ok := p.Cache["atomicfield.fields"].(map[string]varInfo); ok {
+		return cached
+	}
+	fields := map[string]varInfo{}
+	ambiguous := map[string]bool{}
+	for _, pkg := range p.All {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				for _, fld := range st.Fields.List {
+					typ, ptr := normalizeType(fld.Type, pkg.Name)
+					if typ == "" {
+						continue
+					}
+					for _, name := range fld.Names {
+						info := varInfo{typ: typ, ptr: ptr}
+						if prev, seen := fields[name.Name]; seen && prev != info {
+							ambiguous[name.Name] = true
+							continue
+						}
+						fields[name.Name] = info
+					}
+				}
+				return true
+			})
+		}
+	}
+	for name := range ambiguous {
+		delete(fields, name)
+	}
+	p.Cache["atomicfield.fields"] = fields
+	return fields
+}
+
+// checkAtomicFields flags plain pointer-based accesses to registered
+// fields inside one function.
+func checkAtomicFields(p *Pass, fn *ast.FuncDecl, atomicName string, reg atomicRegistry, fieldMap map[string]varInfo) {
+	vars := localVarTypes(fn, p.Pkg.Name)
+
+	// Selector expressions appearing inside sync/atomic call arguments
+	// are the sanctioned access path.
+	exempt := map[*ast.SelectorExpr]bool{}
+	if atomicName != "" {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if x, ok := sel.X.(*ast.Ident); !ok || x.Name != atomicName {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if s, ok := m.(*ast.SelectorExpr); ok {
+						exempt[s] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+
+	// Snapshot-style accessors of the owning type may touch their own
+	// fields plainly (they typically still use atomic loads; the
+	// exemption covers the copy they assemble).
+	recvType := ""
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		recvType, _ = normalizeType(fn.Recv.List[0].Type, p.Pkg.Name)
+	}
+
+	// Writes read better called out as writes.
+	writes := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if s, ok := lhs.(*ast.SelectorExpr); ok {
+					writes[s] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if s, ok := v.X.(*ast.SelectorExpr); ok {
+				writes[s] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || exempt[sel] {
+			return true
+		}
+		info, resolved := resolveBase(sel.X, vars, fieldMap)
+		if !resolved || !info.ptr || !reg[info.typ][sel.Sel.Name] {
+			return true
+		}
+		if recvType == info.typ && strings.HasPrefix(fn.Name.Name, "Snapshot") {
+			return true
+		}
+		verb := "read"
+		if writes[sel] {
+			verb = "write"
+		}
+		p.Reportf(sel.Pos(),
+			"plain %s of %s.%s, a field accessed with sync/atomic elsewhere; use atomic ops or the type's Snapshot accessor",
+			verb, info.typ, sel.Sel.Name)
+		return true
+	})
+}
+
+// resolveBase resolves a selector base to a declared type: identifiers
+// through local inference, one-level field selectors (x.stats.Pages)
+// through the module field map.
+func resolveBase(e ast.Expr, vars map[string]varInfo, fieldMap map[string]varInfo) (varInfo, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		info, ok := vars[v.Name]
+		return info, ok
+	case *ast.SelectorExpr:
+		info, ok := fieldMap[v.Sel.Name]
+		return info, ok
+	case *ast.ParenExpr:
+		return resolveBase(v.X, vars, fieldMap)
+	}
+	return varInfo{}, false
+}

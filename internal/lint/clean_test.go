@@ -1,0 +1,27 @@
+package lint
+
+import "testing"
+
+// TestRepoIsLintClean is the regression gate behind `make lint`: the
+// full analyzer suite over the whole module must produce zero
+// unsuppressed diagnostics. A future PR that reads the wall clock in a
+// deterministic package, lets map order reach an encoder, bypasses the
+// atomics discipline on a shared counter, branches on a metric, or
+// leaks a span fails here (and in CI) with the exact file:line.
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	diags := RunAnalyzers(pkgs, Suite())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("%d unsuppressed lint diagnostic(s); fix them or add a justified //lint:allow pragma (DESIGN.md §9)", len(diags))
+	}
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// deterministicPackages are the packages whose output must be a pure
+// function of their inputs and seeds: the synthetic web generator, the
+// measurement pipeline, and the WebSocket protocol layer. Table 1's
+// byte-identical-resume property holds only while these stay free of
+// wall-clock reads and unseeded randomness (DESIGN.md §9).
+var deterministicPackages = map[string]bool{
+	"repro/internal/webgen":    true,
+	"repro/internal/analysis":  true,
+	"repro/internal/labeler":   true,
+	"repro/internal/inclusion": true,
+	"repro/internal/payload":   true,
+	"repro/internal/content":   true,
+	"repro/internal/wsproto":   true,
+}
+
+// bannedRandFuncs are the math/rand package-level functions backed by
+// the process-global, unseeded source. Constructors (New, NewSource)
+// and type references (rand.Rand, rand.Source) stay legal: explicit
+// seeding is exactly the sanctioned pattern.
+var bannedRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+// determinismAnalyzer forbids time.Now/time.Since and global math/rand
+// draws inside the deterministic packages.
+func determinismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid wall-clock reads and unseeded randomness in the deterministic packages",
+		Run: func(p *Pass) {
+			if !deterministicPackages[p.Pkg.Path] {
+				return
+			}
+			for _, f := range p.Pkg.Files {
+				timeName := importName(f, "time")
+				randName := importName(f, "math/rand")
+				if timeName == "" && randName == "" {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					x, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					switch {
+					case timeName != "" && x.Name == timeName &&
+						(sel.Sel.Name == "Now" || sel.Sel.Name == "Since"):
+						p.Reportf(sel.Pos(),
+							"%s.%s in deterministic package %s; inject a seed or time through an obs span instead",
+							x.Name, sel.Sel.Name, p.Pkg.Path)
+					case randName != "" && x.Name == randName && bannedRandFuncs[sel.Sel.Name]:
+						p.Reportf(sel.Pos(),
+							"global %s.%s in deterministic package %s; draw from an explicitly seeded *rand.Rand",
+							x.Name, sel.Sel.Name, p.Pkg.Path)
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,180 @@
+package lint
+
+// Golden fixture tests: each analyzer runs over testdata fixtures whose
+// expected diagnostics are embedded as // want "regex" comments
+// (analysistest-style, hand-rolled on the standard library). Every
+// diagnostic must match a want on its line and every want must be hit,
+// so the fixtures simultaneously prove that seeded violations are
+// caught and that //lint:allow pragmas are honored.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var wantRe = regexp.MustCompile(`// want "(.*)"`)
+
+// loadFixture parses every .go file in testdata/<dir> as one package
+// with the given import path.
+func loadFixture(t *testing.T, dir, path string) *Package {
+	t.Helper()
+	full := filepath.Join("testdata", dir)
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	pkg := &Package{Path: path, Dir: full, Fset: token.NewFileSet()}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.ToSlash(filepath.Join(full, e.Name()))
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		f, err := parser.ParseFile(pkg.Fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture: %v", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, name)
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatalf("fixture dir %s has no Go files", full)
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	return pkg
+}
+
+// fixtureWants extracts want expectations: file -> line -> regex.
+func fixtureWants(t *testing.T, pkg *Package) map[string]map[int]*regexp.Regexp {
+	t.Helper()
+	wants := map[string]map[int]*regexp.Regexp{}
+	for _, name := range pkg.Filenames {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		perLine := map[int]*regexp.Regexp{}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regex %q: %v", name, i+1, m[1], err)
+			}
+			perLine[i+1] = re
+		}
+		wants[name] = perLine
+	}
+	return wants
+}
+
+// runFixture asserts an exact match between diagnostics and wants.
+func runFixture(t *testing.T, dir, path string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, dir, path)
+	wants := fixtureWants(t, pkg)
+	diags := RunAnalyzers([]*Package{pkg}, analyzers)
+
+	matched := map[string]map[int]bool{}
+	for _, d := range diags {
+		re := wants[d.File][d.Line]
+		if re == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		if !re.MatchString(d.Message) {
+			t.Errorf("%s:%d: diagnostic %q does not match want %q", d.File, d.Line, d.Message, re)
+			continue
+		}
+		if matched[d.File] == nil {
+			matched[d.File] = map[int]bool{}
+		}
+		matched[d.File][d.Line] = true
+	}
+	for file, perLine := range wants {
+		lines := make([]int, 0, len(perLine))
+		for line := range perLine {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			if !matched[file][line] {
+				t.Errorf("%s:%d: want %q matched no diagnostic", file, line, perLine[line])
+			}
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, "determinism", "repro/internal/webgen", determinismAnalyzer())
+}
+
+// TestDeterminismScopedToDeterministicPackages re-lints the same
+// fixture under a non-deterministic import path: nothing may fire.
+func TestDeterminismScopedToDeterministicPackages(t *testing.T) {
+	pkg := loadFixture(t, "determinism", "repro/internal/browser")
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{determinismAnalyzer()}); len(diags) != 0 {
+		t.Fatalf("determinism fired outside the deterministic packages: %v", diags)
+	}
+}
+
+func TestMaporderFixture(t *testing.T) {
+	runFixture(t, "maporder", "repro/internal/fix", maporderAnalyzer())
+}
+
+func TestAtomicfieldFixture(t *testing.T) {
+	runFixture(t, "atomicfield", "repro/internal/fix", atomicfieldAnalyzer())
+}
+
+func TestObserveonlyFixture(t *testing.T) {
+	runFixture(t, "observeonly", "repro/internal/fix", observeonlyAnalyzer())
+}
+
+// TestObserveonlyExemptsCmd re-lints the observeonly fixture under a
+// cmd/ path, where reading metrics for display is the whole point.
+func TestObserveonlyExemptsCmd(t *testing.T) {
+	pkg := loadFixture(t, "observeonly", "repro/cmd/fix")
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{observeonlyAnalyzer()}); len(diags) != 0 {
+		t.Fatalf("observeonly fired in a cmd package: %v", diags)
+	}
+}
+
+func TestSpancloseFixture(t *testing.T) {
+	runFixture(t, "spanclose", "repro/internal/fix", spancloseAnalyzer())
+}
+
+// TestPragmaValidation checks that malformed pragmas are themselves
+// diagnostics and suppress nothing, while a well-formed pragma
+// suppresses its target. Expectations are inline here because a want
+// comment cannot share a line with the pragma it describes.
+func TestPragmaValidation(t *testing.T) {
+	pkg := loadFixture(t, "pragma", "repro/internal/webgen")
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{determinismAnalyzer()})
+
+	byAnalyzer := map[string][]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d.Line)
+	}
+	// Three malformed pragmas (missing reason, unknown analyzer, bare
+	// marker) are diagnosed at the pragma lines.
+	if got := byAnalyzer["pragma"]; len(got) != 3 {
+		t.Errorf("want 3 pragma diagnostics, got %d: %v", len(got), diags)
+	}
+	// The three time.Now calls under malformed pragmas stay reported
+	// (malformed pragmas suppress nothing); the fourth, under the
+	// well-formed pragma, is suppressed.
+	if got := byAnalyzer["determinism"]; len(got) != 3 {
+		t.Errorf("want 3 unsuppressed determinism diagnostics, got %d: %v", len(got), diags)
+	}
+}

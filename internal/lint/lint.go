@@ -1,0 +1,220 @@
+// Package lint is the repo's own static-analysis gate: a
+// dependency-free analyzer framework (stdlib go/parser + go/ast +
+// go/token only, no golang.org/x/tools) plus a suite of
+// project-invariant analyzers that keep the reproduction's headline
+// claims honest. The claims — byte-identical datasets across
+// resume/metrics runs, seeded synthetic-web generation, race-free
+// concurrent orchestration — rest on invariants documented in
+// DESIGN.md §7–9; this package enforces them mechanically:
+//
+//   - determinism: no wall-clock or unseeded randomness in the
+//     deterministic packages (webgen, analysis, labeler, inclusion,
+//     payload, content, wsproto).
+//   - maporder: no map-iteration order reaching appends or encoder
+//     output without an intervening sort.
+//   - atomicfield: struct fields accessed via sync/atomic anywhere are
+//     never read or written plainly through a pointer outside the
+//     owning type's Snapshot-style accessors.
+//   - observeonly: packages other than obs/cmd/examples may record
+//     metrics but never read them back (instrumentation must not
+//     influence control flow).
+//   - spanclose: every obs.StartSpan is paired with an End in the same
+//     function, directly or via defer.
+//
+// Intentional violations are suppressed in place with a pragma that
+// must name the analyzer and carry a written justification:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// The pragma suppresses matching diagnostics on its own line and on
+// the line immediately below it, so it works both as a trailing
+// comment and as a standalone comment above the offending line. A
+// pragma without a reason, or naming an unknown analyzer, is itself a
+// diagnostic (analyzer "pragma") and suppresses nothing.
+//
+// Only non-test files are linted: tests legitimately read metric
+// values, use wall-clock timeouts, and inspect counters after
+// goroutines have joined.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one lint pass. Run is invoked once per package and
+// reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow pragmas.
+	Name string
+	// Doc is a one-line description of the invariant it guards.
+	Doc string
+	// Run inspects one package.
+	Run func(p *Pass)
+}
+
+// Pass carries one (package, analyzer) unit of work.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// All is every package of the module, for module-wide analyses
+	// (atomicfield's registry of atomically-accessed fields).
+	All []*Package
+	// Cache is shared across every pass of one RunAnalyzers call, so
+	// module-wide precomputation happens once. Key by analyzer name.
+	Cache map[string]any
+
+	analyzer string
+	out      *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.out = append(*p.out, Diagnostic{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned for file:line:col output.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional grep-able form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// pragmaMarker introduces a suppression comment: //lint:allow <analyzer> <reason>.
+const pragmaMarker = "lint:allow"
+
+// allowPragma is one parsed suppression.
+type allowPragma struct {
+	line     int
+	analyzer string
+	reason   string
+}
+
+// filePragmas extracts the allow pragmas of one file. Malformed
+// pragmas (missing reason, which would defeat the "every suppression
+// is justified" policy) are returned as diagnostics and do not
+// suppress anything.
+func filePragmas(fset *token.FileSet, f *ast.File, known map[string]bool) ([]allowPragma, []Diagnostic) {
+	var allows []allowPragma
+	var bad []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, pragmaMarker) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(strings.TrimPrefix(text, pragmaMarker))
+			diag := func(format string, args ...any) {
+				bad = append(bad, Diagnostic{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: "pragma",
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			if len(fields) == 0 {
+				diag("lint:allow pragma names no analyzer")
+				continue
+			}
+			if !known[fields[0]] {
+				diag("lint:allow pragma names unknown analyzer %q", fields[0])
+				continue
+			}
+			if len(fields) < 2 {
+				diag("lint:allow %s pragma carries no justification; a reason is required", fields[0])
+				continue
+			}
+			allows = append(allows, allowPragma{
+				line:     pos.Line,
+				analyzer: fields[0],
+				reason:   strings.Join(fields[1:], " "),
+			})
+		}
+	}
+	return allows, bad
+}
+
+// suppressed reports whether d is covered by an allow pragma: same
+// analyzer, same file, pragma on the diagnostic's line or the line
+// just above it.
+func suppressed(d Diagnostic, allows []allowPragma) bool {
+	for _, a := range allows {
+		if a.analyzer == d.Analyzer && (a.line == d.Line || a.line == d.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers runs every analyzer over every package, applies pragma
+// suppression, and returns the surviving diagnostics sorted by
+// position. Malformed pragmas surface as "pragma" diagnostics.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	cache := map[string]any{}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var allows []allowPragma
+		for _, f := range pkg.Files {
+			ps, bad := filePragmas(pkg.Fset, f, known)
+			allows = append(allows, ps...)
+			diags = append(diags, bad...)
+		}
+		var found []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, All: pkgs, Cache: cache, analyzer: a.Name, out: &found}
+			a.Run(pass)
+		}
+		for _, d := range found {
+			if !suppressed(d, allows) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// Suite returns the repo's analyzer suite, in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		determinismAnalyzer(),
+		maporderAnalyzer(),
+		atomicfieldAnalyzer(),
+		observeonlyAnalyzer(),
+		spancloseAnalyzer(),
+	}
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, non-test package of the module.
+type Package struct {
+	// Name is the package clause name ("webgen").
+	Name string
+	// Path is the import path ("repro/internal/webgen").
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+	// Fset positions every file; filenames are module-relative.
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources, sorted by filename.
+	Files []*ast.File
+	// Filenames are the module-relative paths, parallel to Files.
+	Filenames []string
+}
+
+// ModuleRoot walks up from start until it finds a go.mod.
+func ModuleRoot(start string) (string, error) {
+	dir, err := filepath.Abs(start)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found at or above %s", start)
+		}
+		dir = parent
+	}
+}
+
+// moduleName extracts the module path from root's go.mod.
+func moduleName(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// skipDir reports whether a directory is outside the lint surface:
+// VCS metadata, vendored code, and testdata fixtures.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		(strings.HasPrefix(name, ".") && name != ".")
+}
+
+// lintableFile reports whether a file is a non-test Go source.
+func lintableFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// LoadModule parses every non-test Go file under root into packages,
+// one per directory, with import paths derived from the module name in
+// go.mod. testdata, vendor, and dot directories are skipped. Files are
+// positioned by module-relative path so diagnostics print cleanly.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := moduleName(root)
+	if err != nil {
+		return nil, err
+	}
+	perDir := map[string][]string{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if lintableFile(d.Name()) {
+			dir := filepath.Dir(path)
+			perDir[dir] = append(perDir[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	dirs := make([]string, 0, len(perDir))
+	for dir := range perDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, dir := range dirs {
+		files := perDir[dir]
+		sort.Strings(files)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg := &Package{
+			Dir:  dir,
+			Path: mod,
+			Fset: fset,
+		}
+		if rel != "." {
+			pkg.Path = mod + "/" + filepath.ToSlash(rel)
+		}
+		for _, path := range files {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			relFile, err := filepath.Rel(root, path)
+			if err != nil {
+				return nil, err
+			}
+			f, err := parser.ParseFile(fset, filepath.ToSlash(relFile), src, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", relFile, err)
+			}
+			pkg.Files = append(pkg.Files, f)
+			pkg.Filenames = append(pkg.Filenames, filepath.ToSlash(relFile))
+		}
+		if len(pkg.Files) > 0 {
+			pkg.Name = pkg.Files[0].Name.Name
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// writerMethods are method names through which data reaches an output
+// stream or encoder. A call to one of these inside a map-range body
+// emits in nondeterministic order and no later sort can repair it.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// maporderAnalyzer flags map iteration whose order escapes into output:
+// a range over a map that appends to a slice never subsequently sorted,
+// or that writes to an encoder/stream directly. Map-to-map folds
+// (out[k] += v) are order-insensitive and stay legal. Without go/types
+// the analyzer recognizes maps syntactically: parameters and locals
+// with map types, make(map...)/map literals, package-level map vars,
+// and selectors of struct fields declared as maps anywhere in the
+// package.
+func maporderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "forbid map-iteration order reaching appends or encoder output without a sort",
+		Run: func(p *Pass) {
+			mapFields := collectMapFields(p.Pkg)
+			mapGlobals := collectMapGlobals(p.Pkg)
+			for _, f := range p.Pkg.Files {
+				sortName := importName(f, "sort")
+				for _, fn := range funcDecls(f) {
+					checkMapOrder(p, fn, mapFields, mapGlobals, sortName)
+				}
+			}
+		},
+	}
+}
+
+// collectMapFields gathers the names of struct fields declared with a
+// map type anywhere in the package, so ranges over m.sites-style
+// selectors are recognized.
+func collectMapFields(pkg *Package) map[string]bool {
+	fields := map[string]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if _, isMap := fld.Type.(*ast.MapType); !isMap {
+					continue
+				}
+				for _, name := range fld.Names {
+					fields[name.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// collectMapGlobals gathers package-level variables with map types.
+func collectMapGlobals(pkg *Package) map[string]bool {
+	globals := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				isMap := false
+				if vs.Type != nil {
+					_, isMap = vs.Type.(*ast.MapType)
+				} else if len(vs.Values) == 1 {
+					isMap = isMapValue(vs.Values[0])
+				}
+				if !isMap {
+					continue
+				}
+				for _, name := range vs.Names {
+					globals[name.Name] = true
+				}
+			}
+		}
+	}
+	return globals
+}
+
+// isMapValue reports whether an initializer expression builds a map.
+func isMapValue(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		_, ok := v.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) >= 1 {
+			_, ok := v.Args[0].(*ast.MapType)
+			return ok
+		}
+	}
+	return false
+}
+
+// checkMapOrder inspects one function.
+func checkMapOrder(p *Pass, fn *ast.FuncDecl, mapFields, mapGlobals map[string]bool, sortName string) {
+	localMaps := map[string]bool{}
+	addParams := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			if _, ok := fld.Type.(*ast.MapType); !ok {
+				continue
+			}
+			for _, name := range fld.Names {
+				localMaps[name.Name] = true
+			}
+		}
+	}
+	addParams(fn.Recv)
+	addParams(fn.Type.Params)
+	addParams(fn.Type.Results)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isMapValue(v.Rhs[i]) {
+					continue
+				}
+				localMaps[id.Name] = true
+			}
+		case *ast.DeclStmt:
+			gd, ok := v.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Type == nil {
+					continue
+				}
+				if _, isMap := vs.Type.(*ast.MapType); !isMap {
+					continue
+				}
+				for _, name := range vs.Names {
+					localMaps[name.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	isMap := func(e ast.Expr) bool {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return localMaps[v.Name] || mapGlobals[v.Name]
+		case *ast.SelectorExpr:
+			return mapFields[v.Sel.Name]
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMap(rs.X) {
+			return true
+		}
+		checkMapRange(p, fn, rs, sortName)
+		return true
+	})
+}
+
+// checkMapRange inspects one range-over-map statement: direct writes
+// are flagged outright; appends are flagged unless a sort mentioning
+// the target follows the loop.
+func checkMapRange(p *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, sortName string) {
+	type appendSite struct {
+		target string
+		pos    token.Pos
+	}
+	var appends []appendSite
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, rhs := range v.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				appends = append(appends, appendSite{target: render(v.Lhs[i]), pos: call.Pos()})
+			}
+		case *ast.CallExpr:
+			sel, ok := v.Fun.(*ast.SelectorExpr)
+			if ok && writerMethods[sel.Sel.Name] {
+				p.Reportf(v.Pos(),
+					"%s.%s writes output inside a map range; iteration order is nondeterministic — collect and sort first",
+					render(sel.X), sel.Sel.Name)
+			}
+		}
+		return true
+	})
+
+	for _, site := range appends {
+		if sortName != "" && sortedAfter(fn, rs, sortName, site.target) {
+			continue
+		}
+		p.Reportf(site.pos,
+			"append to %s in map-iteration order with no later sort; map range order is nondeterministic",
+			site.target)
+	}
+}
+
+// sortedAfter reports whether a sort.* call positioned after the range
+// loop references target in any argument (sort.Strings(target),
+// sort.Slice(target, func...), and friends).
+func sortedAfter(fn *ast.FuncDecl, rs *ast.RangeStmt, sortName, target string) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok || x.Name != sortName {
+			return true
+		}
+		for _, arg := range call.Args {
+			if strings.Contains(renderArg(arg), target) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// renderArg renders a sort argument for matching; function literals
+// (sort.Slice comparators) are searched for every expression they
+// mention.
+func renderArg(arg ast.Expr) string {
+	if fl, ok := arg.(*ast.FuncLit); ok {
+		var b strings.Builder
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				b.WriteString(render(e))
+				b.WriteByte(' ')
+			}
+			return true
+		})
+		return b.String()
+	}
+	return render(arg)
+}

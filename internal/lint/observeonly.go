@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// obsPath is the observability package; obsReadMethods are its APIs
+// that read metric state back out.
+const obsPath = "repro/internal/obs"
+
+var obsReadMethods = map[string]bool{
+	"Value": true, "Snapshot": true, "Stat": true,
+	"Count": true, "Sum": true, "Names": true,
+}
+
+// observeonlyAnalyzer enforces the instrumentation-never-changes-output
+// invariant (DESIGN.md §8): library packages may record metrics
+// (Inc/Add/Set/Observe/GaugeFunc) but must never read them back —
+// Value/Snapshot/Stat and friends are reserved for obs itself, the
+// cmd/ binaries, examples, and tests. A library that branches on a
+// counter has turned observation into control flow, which is exactly
+// how metrics-enabled runs stop being byte-identical.
+func observeonlyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "observeonly",
+		Doc:  "library packages may record metrics but must not read them back",
+		Run: func(p *Pass) {
+			path := p.Pkg.Path
+			if path == obsPath || path == "repro/internal/lint" ||
+				strings.HasPrefix(path, "repro/cmd/") ||
+				strings.HasPrefix(path, "repro/examples/") {
+				return
+			}
+			// Package-level vars bound to obs expressions (the
+			// pre-resolved metric pattern) are tracked across files.
+			tainted := map[string]bool{}
+			for _, f := range p.Pkg.Files {
+				obsName := importName(f, obsPath)
+				if obsName == "" {
+					continue
+				}
+				for _, decl := range f.Decls {
+					gd, ok := decl.(*ast.GenDecl)
+					if !ok {
+						continue
+					}
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for i, name := range vs.Names {
+							if i < len(vs.Values) && obsRooted(vs.Values[i], obsName, tainted) {
+								tainted[name.Name] = true
+							}
+						}
+					}
+				}
+			}
+			for _, f := range p.Pkg.Files {
+				obsName := importName(f, obsPath)
+				if obsName == "" && len(tainted) == 0 {
+					continue
+				}
+				for _, fn := range funcDecls(f) {
+					checkObserveOnly(p, fn, obsName, tainted)
+				}
+			}
+		},
+	}
+}
+
+// obsRooted reports whether an expression's base identifier is the obs
+// package or a variable already known to hold an obs value.
+func obsRooted(e ast.Expr, obsName string, tainted map[string]bool) bool {
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	return (obsName != "" && root.Name == obsName) || tainted[root.Name]
+}
+
+// checkObserveOnly walks one function, propagating obs taint through
+// := assignments in source order and flagging read-method calls on
+// obs-rooted chains.
+func checkObserveOnly(p *Pass, fn *ast.FuncDecl, obsName string, pkgTainted map[string]bool) {
+	tainted := map[string]bool{}
+	for name := range pkgTainted {
+		tainted[name] = true
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if obsRooted(v.Rhs[i], obsName, tainted) {
+					tainted[id.Name] = true
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := v.Fun.(*ast.SelectorExpr)
+			if !ok || !obsReadMethods[sel.Sel.Name] {
+				return true
+			}
+			if obsRooted(sel.X, obsName, tainted) {
+				p.Reportf(v.Pos(),
+					"%s.%s() reads metric state in library package %s; instrumentation is observe-only — reads belong to obs, cmd, and tests",
+					render(sel.X), sel.Sel.Name, p.Pkg.Path)
+			}
+		}
+		return true
+	})
+}

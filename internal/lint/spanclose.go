@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// spancloseAnalyzer pairs every obs.StartSpan with an End. A span that
+// is started and never ended silently drops its stage timing — the
+// histogram undercounts and p99s lie. Accepted shapes:
+//
+//	defer obs.StartSpan(h).End()
+//	sp := obs.StartSpan(h); ...; sp.End()
+//	sp := obs.StartSpan(h); defer sp.End()
+//
+// Discarding the span, assigning it to _, or passing it away from the
+// starting function is flagged.
+func spancloseAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "spanclose",
+		Doc:  "every obs.StartSpan must be paired with End in the same function",
+		Run: func(p *Pass) {
+			inObs := p.Pkg.Path == obsPath
+			for _, f := range p.Pkg.Files {
+				obsName := importName(f, obsPath)
+				if obsName == "" && !inObs {
+					continue
+				}
+				for _, fn := range funcDecls(f) {
+					checkSpanClose(p, fn, obsName, inObs)
+				}
+			}
+		},
+	}
+}
+
+// isStartSpan matches obs.StartSpan(...) — or bare StartSpan(...) when
+// analyzing obs itself.
+func isStartSpan(call *ast.CallExpr, obsName string, inObs bool) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		x, ok := fun.X.(*ast.Ident)
+		return ok && obsName != "" && x.Name == obsName && fun.Sel.Name == "StartSpan"
+	case *ast.Ident:
+		return inObs && fun.Name == "StartSpan"
+	}
+	return false
+}
+
+// checkSpanClose classifies every StartSpan call in one function.
+func checkSpanClose(p *Pass, fn *ast.FuncDecl, obsName string, inObs bool) {
+	// endCall matches <expr>.End().
+	endCall := func(n ast.Node) (*ast.CallExpr, ast.Expr) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return nil, nil
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return nil, nil
+		}
+		return call, sel.X
+	}
+
+	handled := map[*ast.CallExpr]bool{} // StartSpan calls with a paired End
+	assigned := map[*ast.CallExpr]string{}
+	endedVars := map[string]bool{}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		// obs.StartSpan(h).End() — chained, possibly deferred.
+		if _, recv := endCall(n); recv != nil {
+			if inner, ok := recv.(*ast.CallExpr); ok && isStartSpan(inner, obsName, inObs) {
+				handled[inner] = true
+			}
+			if id, ok := recv.(*ast.Ident); ok {
+				endedVars[id.Name] = true
+			}
+			return true
+		}
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isStartSpan(call, obsName, inObs) {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					assigned[call] = id.Name
+					handled[call] = true // verified against endedVars below
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isStartSpan(call, obsName, inObs) || handled[call] {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"span started but its End can never run in this function; assign it and call End (or defer obs.StartSpan(...).End())")
+		return true
+	})
+	for call, name := range assigned {
+		if !endedVars[name] {
+			p.Reportf(call.Pos(),
+				"span assigned to %s but %s.End() is never called in this function", name, name)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Fixture for the atomicfield analyzer.
+package fix
+
+import "sync/atomic"
+
+type Stats struct {
+	Pages int64
+	Other int64
+}
+
+type Holder struct {
+	stats *Stats
+}
+
+func add(s *Stats) {
+	atomic.AddInt64(&s.Pages, 1) // the atomic access that registers Pages
+}
+
+func read(s *Stats) int64 {
+	return s.Pages // want "plain read of fix.Stats.Pages"
+}
+
+func write(s *Stats) {
+	s.Pages = 0 // want "plain write of fix.Stats.Pages"
+}
+
+func incr(s *Stats) {
+	s.Pages++ // want "plain write of fix.Stats.Pages"
+}
+
+func throughField(h *Holder) int64 {
+	return h.stats.Pages // want "plain read of fix.Stats.Pages"
+}
+
+func otherFieldIsFine(s *Stats) int64 {
+	return s.Other // never accessed atomically: legal
+}
+
+func atomicReadIsFine(s *Stats) int64 {
+	return atomic.LoadInt64(&s.Pages)
+}
+
+func valueCopyIsFine(s Stats) int64 {
+	return s.Pages // value copy, not the shared pointer: legal
+}
+
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		Pages: atomic.LoadInt64(&s.Pages),
+		Other: s.Other,
+	}
+}
+
+// SnapshotPages shows the Snapshot-prefix accessor exemption.
+func (s *Stats) SnapshotPages() int64 {
+	return s.Pages // Snapshot-style accessor on the owning type: legal
+}
+
+func allowedByPragma(s *Stats) int64 {
+	//lint:allow atomicfield fixture: read after all writers joined
+	return s.Pages
+}

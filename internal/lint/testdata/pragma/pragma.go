@@ -1,0 +1,27 @@
+// Fixture for pragma validation: malformed pragmas are diagnostics
+// themselves and suppress nothing. Expectations live in
+// TestPragmaValidation (a want comment cannot share a line with the
+// pragma under test).
+package webgen
+
+import "time"
+
+func missingReason() time.Time {
+	//lint:allow determinism
+	return time.Now()
+}
+
+func unknownAnalyzer() time.Time {
+	//lint:allow nosuchanalyzer because reasons
+	return time.Now()
+}
+
+func bareMarker() time.Time {
+	//lint:allow
+	return time.Now()
+}
+
+func wellFormed() time.Time {
+	//lint:allow determinism fixture: justified and suppressed
+	return time.Now()
+}

@@ -1,0 +1,64 @@
+// Fixture for the spanclose analyzer.
+package fix
+
+import "repro/internal/obs"
+
+var hist = obs.Default.Histogram("stage.fixture")
+
+func deferredChain() {
+	defer obs.StartSpan(hist).End()
+	work()
+}
+
+func assignedDeferred() {
+	sp := obs.StartSpan(hist)
+	defer sp.End()
+	work()
+}
+
+func assignedMidFunction() {
+	sp := obs.StartSpan(hist)
+	work()
+	sp.End()
+	otherWork()
+}
+
+func twoSpans() {
+	fetch := obs.StartSpan(hist)
+	work()
+	fetch.End()
+	parse := obs.StartSpan(hist)
+	otherWork()
+	parse.End()
+}
+
+func work()      {}
+func otherWork() {}
+
+func discarded() {
+	obs.StartSpan(hist) // want "span started but its End can never run"
+	work()
+}
+
+func blankAssigned() {
+	_ = obs.StartSpan(hist) // want "span started but its End can never run"
+	work()
+}
+
+func neverEnded() {
+	sp := obs.StartSpan(hist) // want "span assigned to sp but sp.End(.*) is never called"
+	work()
+	_ = sp
+}
+
+func escapes() {
+	consume(obs.StartSpan(hist)) // want "span started but its End can never run"
+}
+
+func consume(obs.Span) {}
+
+func allowedByPragma() {
+	//lint:allow spanclose fixture: span ended by a helper goroutine
+	obs.StartSpan(hist)
+	work()
+}

@@ -1,0 +1,39 @@
+package obs
+
+import "time"
+
+// Span times one pipeline stage into a histogram. StartSpan reads the
+// clock once; End records the elapsed time. Spans exist so that
+// instrumented packages — including the deterministic ones, where the
+// lint suite forbids direct time.Now/time.Since — express stage timing
+// through a single auditable shape that the spanclose analyzer can
+// enforce: every start paired with an End in the same function,
+// directly or via defer.
+//
+// A Span is a value; copying it is fine, and End on the zero Span is a
+// no-op (so spans can be threaded through structs optionally).
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing against h. Pair it with End in the same
+// function:
+//
+//	defer obs.StartSpan(obs.StageFetch).End()
+//
+// or, when the span must stop before the function returns:
+//
+//	sp := obs.StartSpan(obs.StageFetch)
+//	... stage work ...
+//	sp.End()
+func StartSpan(h *Histogram) Span {
+	return Span{h: h, start: time.Now()}
+}
+
+// End records the time elapsed since StartSpan into the histogram.
+func (s Span) End() {
+	if s.h != nil {
+		s.h.Observe(time.Since(s.start))
+	}
+}

@@ -64,7 +64,14 @@ func (d *Dialer) Dial(ctx context.Context, rawURL string) (*Conn, http.Header, e
 	}
 	rng := d.Rand
 	if rng == nil {
-		rng = rand.New(rand.NewSource(int64(len(rawURL))*7919 + 1))
+		// The one sanctioned nondeterministic RNG in the protocol layer:
+		// a zero Dialer dialing an arbitrary server gets fresh masking
+		// keys and nonces, per the security intent of RFC 6455 §5.3.
+		// Every in-repo caller on a measurement path (browser, tests)
+		// injects a seeded RNG instead, so recorded traffic stays a pure
+		// function of the crawl seed.
+		//lint:allow determinism intentional fallback for un-seeded interop dials; measurement paths always inject Rand
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
 	// The context deadline must cover the handshake I/O too — a server
 	// that accepts TCP and then goes silent would otherwise hang the

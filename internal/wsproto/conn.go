@@ -85,7 +85,11 @@ func newConn(c net.Conn, br *bufio.Reader, isClient bool, rng *rand.Rand) *Conn 
 		br = bufio.NewReader(c)
 	}
 	if rng == nil {
-		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		// Every constructor must choose its RNG explicitly: a silent
+		// time-seeded fallback here once made client masking keys — and
+		// therefore recorded frame bytes — nondeterministic. Dialer.Dial
+		// owns the one sanctioned nondeterministic fallback.
+		panic("wsproto: newConn requires an explicit rng")
 	}
 	return &Conn{
 		conn:       c,
@@ -287,6 +291,7 @@ func (c *Conn) sendClose(code int, reason string) {
 	}
 	// Bound the close-frame write: a peer that has stopped reading must
 	// not be able to wedge teardown.
+	//lint:allow determinism I/O deadline arithmetic only; never reaches protocol bytes or the dataset
 	_ = c.conn.SetWriteDeadline(time.Now().Add(time.Second))
 	_ = c.writeFrame(&Frame{FIN: true, Opcode: OpClose, Payload: closePayload(code, reason)})
 	_ = c.conn.SetWriteDeadline(time.Time{})

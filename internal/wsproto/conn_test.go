@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"strings"
@@ -18,8 +19,8 @@ import (
 func pipePair(t *testing.T) (client, server *Conn) {
 	t.Helper()
 	cc, sc := net.Pipe()
-	client = newConn(cc, nil, true, nil)
-	server = newConn(sc, nil, false, nil)
+	client = newConn(cc, nil, true, rand.New(rand.NewSource(7)))
+	server = newConn(sc, nil, false, rand.New(rand.NewSource(8)))
 	t.Cleanup(func() {
 		client.shutdown()
 		server.shutdown()
@@ -155,7 +156,7 @@ func TestConnWriteAfterClose(t *testing.T) {
 func TestConnRejectsUnmaskedClientFrame(t *testing.T) {
 	cc, sc := net.Pipe()
 	defer cc.Close()
-	server := newConn(sc, nil, false, nil)
+	server := newConn(sc, nil, false, rand.New(rand.NewSource(9)))
 	defer server.shutdown()
 	go func() {
 		// Write an unmasked frame from the "client" side: a protocol

@@ -29,6 +29,8 @@ func Accept(nc net.Conn, selectProtocol func(offered []string) string) (*Conn, *
 		nc.Close()
 		return nil, nil, fmt.Errorf("wsproto: send handshake response: %w", err)
 	}
+	// Server conns never mask frames (RFC 6455 §5.1), so the RNG is
+	// inert; a fixed seed keeps the conn fully deterministic anyway.
 	conn := newConn(nc, br, false, rand.New(rand.NewSource(1)))
 	conn.Subprotocol = sub
 	return conn, hs, nil
@@ -72,6 +74,7 @@ func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
 		nc.Close()
 		return nil, fmt.Errorf("wsproto: send handshake response: %w", err)
 	}
+	// As in Accept: server conns never mask, the fixed-seed RNG is inert.
 	return newConn(nc, rw.Reader, false, rand.New(rand.NewSource(2))), nil
 }
 
