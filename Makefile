@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-obs lint fmt-check ci clean
+.PHONY: all build vet test race bench-obs bench-match bench-match-smoke lint fmt-check ci clean
 
 all: ci
 
@@ -27,6 +27,17 @@ race:
 bench-obs:
 	$(GO) test ./internal/obs -bench . -benchmem -run '^$$'
 
+# Match-engine benchmarks: indexed engine vs the retained reference
+# oracle, cache-hit path (must stay 0 allocs/op), and tokenizer.
+# BENCH_match.json records the accepted baseline.
+bench-match:
+	$(GO) test ./internal/filterlist -bench Match -benchmem -run '^$$'
+
+# One-iteration smoke run for ci: proves the benchmark corpus still
+# builds and both engines execute, without paying full -benchtime.
+bench-match-smoke:
+	$(GO) test ./internal/filterlist -bench Match -benchtime 1x -run '^$$'
+
 # Project-invariant analyzers (determinism, maporder, atomicfield,
 # observeonly, spanclose). Exits non-zero on any unsuppressed finding;
 # see DESIGN.md §9 for the catalogue and the //lint:allow policy.
@@ -37,7 +48,7 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt-check vet build lint test race
+ci: fmt-check vet build lint test race bench-match-smoke
 
 clean:
 	$(GO) clean ./...

@@ -13,6 +13,7 @@ package adblock
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/devtools"
 	"repro/internal/filterlist"
@@ -32,13 +33,16 @@ const (
 	AllURLs
 )
 
-// Blocker is a filter-list-driven blocking extension.
+// Blocker is a filter-list-driven blocking extension. The pass path
+// (no rule matched — almost all crawl traffic) touches no lock: the
+// blocked tally is atomic and the per-rule histogram lock is taken only
+// on actual cancellations.
 type Blocker struct {
 	name    string
 	group   *filterlist.Group
 	style   PatternStyle
-	mu      sync.Mutex
-	blocked int
+	blocked atomic.Int64
+	mu      sync.Mutex // guards byRule
 	byRule  map[string]int
 }
 
@@ -87,8 +91,8 @@ func (b *Blocker) onBeforeRequest(d webrequest.Details) webrequest.BlockingRespo
 	if !decision.Blocked {
 		return webrequest.BlockingResponse{}
 	}
+	b.blocked.Add(1)
 	b.mu.Lock()
-	b.blocked++
 	b.byRule[decision.Rule.Raw]++
 	b.mu.Unlock()
 	return webrequest.BlockingResponse{Cancel: true, Rule: decision.Rule.Raw}
@@ -96,9 +100,7 @@ func (b *Blocker) onBeforeRequest(d webrequest.Details) webrequest.BlockingRespo
 
 // BlockedCount returns how many requests the blocker cancelled.
 func (b *Blocker) BlockedCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.blocked
+	return int(b.blocked.Load())
 }
 
 // TopRules returns rule hit counts.

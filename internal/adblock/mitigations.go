@@ -1,7 +1,7 @@
 package adblock
 
 import (
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/devtools"
 	"repro/internal/filterlist"
@@ -17,8 +17,7 @@ import (
 // stopgap during the five unpatched years.
 type SocketGuardBlocker struct {
 	*Blocker
-	mu      sync.Mutex
-	guarded int
+	guarded atomic.Int64
 }
 
 // NewSocketGuard builds a blocker whose WebSocket decisions also run as
@@ -42,17 +41,13 @@ func (g *SocketGuardBlocker) AllowSocket(pageURL, socketURL string) (bool, strin
 	if !d.Blocked {
 		return true, ""
 	}
-	g.mu.Lock()
-	g.guarded++
-	g.mu.Unlock()
+	g.guarded.Add(1)
 	return false, d.Rule.Raw
 }
 
 // GuardedCount returns how many sockets the page-level wrapper vetoed.
 func (g *SocketGuardBlocker) GuardedCount() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.guarded
+	return int(g.guarded.Load())
 }
 
 // FeatureBlocker disables a whole browser feature rather than matching
@@ -62,8 +57,7 @@ func (g *SocketGuardBlocker) GuardedCount() int {
 // WebSocket it can see and, as a guard, every one it cannot.
 type FeatureBlocker struct {
 	name string
-	mu   sync.Mutex
-	hits int
+	hits atomic.Int64
 }
 
 // NewFeatureBlocker builds a block-all-WebSockets extension.
@@ -92,14 +86,10 @@ func (f *FeatureBlocker) AllowSocket(pageURL, socketURL string) (bool, string) {
 }
 
 func (f *FeatureBlocker) count() {
-	f.mu.Lock()
-	f.hits++
-	f.mu.Unlock()
+	f.hits.Add(1)
 }
 
 // BlockedCount returns how many sockets were cancelled.
 func (f *FeatureBlocker) BlockedCount() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.hits
+	return int(f.hits.Load())
 }

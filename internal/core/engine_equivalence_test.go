@@ -1,0 +1,28 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/filterlist"
+)
+
+// TestIndexedEngineMatchesReferenceDataset is the dataset-level proof
+// that the tokenized reverse-index match engine is a pure optimization:
+// a full metrics-enabled crawl under the indexed engine (with its
+// decision cache live) produces byte-identical study JSON to the same
+// crawl forced through the retained reference oracle — the seed
+// implementation's matching semantics. Together with filterlist's
+// differential property test this pins "new engine ≡ seed" end to end.
+func TestIndexedEngineMatchesReferenceDataset(t *testing.T) {
+	indexed := datasetBytes(t, t.TempDir())
+
+	filterlist.SetReferenceMode(true)
+	defer filterlist.SetReferenceMode(false)
+	reference := datasetBytes(t, t.TempDir())
+
+	if !bytes.Equal(indexed, reference) {
+		t.Fatalf("indexed engine changed the dataset: %d bytes vs %d bytes under the reference oracle",
+			len(indexed), len(reference))
+	}
+}

@@ -65,7 +65,8 @@ func TestCrawlPopulatesMetrics(t *testing.T) {
 	after := obs.Default.Snapshot()
 
 	for _, name := range []string{obs.MPages, obs.MSites, obs.MBrowserRequests,
-		obs.MServerRequests, obs.MSpoolAppends, obs.MCheckpointWrites, obs.MMergePages} {
+		obs.MServerRequests, obs.MSpoolAppends, obs.MCheckpointWrites, obs.MMergePages,
+		obs.MMatchRequests, obs.MMatchCacheHits, obs.MMatchCacheMisses} {
 		if after.Counters[name] <= before.Counters[name] {
 			t.Errorf("counter %s did not advance (%d -> %d)",
 				name, before.Counters[name], after.Counters[name])
@@ -79,9 +80,15 @@ func TestCrawlPopulatesMetrics(t *testing.T) {
 		t.Errorf("queue.done = %d, want %d (all sites settled)", done, total)
 	}
 	for _, name := range []string{obs.MStageFetch, obs.MStageParse, obs.MStageTree,
-		obs.MStageLabel, obs.MStageSpool, obs.MStageCheckpoint, obs.MStageMerge} {
+		obs.MStageLabel, obs.MStageSpool, obs.MStageCheckpoint, obs.MStageMerge,
+		obs.MMatchEval} {
 		if after.Hists[name].Count <= before.Hists[name].Count {
 			t.Errorf("histogram %s has no new observations", name)
+		}
+	}
+	for _, name := range []string{obs.MMatchIndexRules, obs.MMatchIndexTokens} {
+		if after.Gauges[name] <= 0 {
+			t.Errorf("gauge %s = %d, want > 0 after a crawl", name, after.Gauges[name])
 		}
 	}
 }

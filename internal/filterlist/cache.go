@@ -1,0 +1,136 @@
+package filterlist
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/devtools"
+	"repro/internal/obs"
+)
+
+// The decision cache (DESIGN.md §10): crawls re-evaluate the same
+// third-party URLs thousands of times — every page on a site loads the
+// same tags, pixels, and sockets — so Group.Match memoizes full
+// decisions keyed by (URL, resource type, page host). The page host is
+// part of the key because $domain and $third-party options make the
+// decision depend on it, not just on the URL.
+//
+// The cache is sharded 16 ways by URL hash so concurrent crawl workers
+// don't serialize on one lock, and bounded per shard: an insert into a
+// full shard flushes that shard (epoch reset), which keeps memory flat
+// without an eviction list and — crucially — cannot change any match
+// outcome, only hit rates. Hits are read-locked map lookups with a
+// stack-allocated key: zero heap allocations.
+//
+// Mutating a list (List.Add) after matching has started bumps the
+// list's generation; the cache notices the group generation changed and
+// flushes wholesale before serving or storing anything stale.
+
+const (
+	cacheShardCount = 16
+	// defaultCacheSize is the default total entry bound for a group's
+	// cache (spread across shards). At ~100 bytes/entry this is a few
+	// MB — small next to a compiled EasyList.
+	defaultCacheSize = 1 << 16
+)
+
+// cacheKey identifies one match question. ResourceType is a string, so
+// the struct is comparable and map lookups with a composite literal key
+// stay on the stack.
+type cacheKey struct {
+	url  string
+	page string
+	typ  devtools.ResourceType
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[cacheKey]Decision
+}
+
+// decisionCache is a bounded, sharded memo of Group decisions.
+type decisionCache struct {
+	gen         atomic.Uint64 // group generation the entries belong to
+	flushMu     sync.Mutex    // serializes generation flushes
+	maxPerShard int
+	shards      [cacheShardCount]cacheShard
+}
+
+func newDecisionCache(totalEntries int) *decisionCache {
+	if totalEntries <= 0 {
+		return nil
+	}
+	per := totalEntries / cacheShardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &decisionCache{maxPerShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]Decision)
+	}
+	return c
+}
+
+func (c *decisionCache) shardFor(k *cacheKey) *cacheShard {
+	return &c.shards[hashString(k.url)&(cacheShardCount-1)]
+}
+
+// get returns the cached decision for the request under the given group
+// generation.
+func (c *decisionCache) get(k cacheKey, gen uint64) (Decision, bool) {
+	if c.gen.Load() != gen {
+		return Decision{}, false
+	}
+	s := c.shardFor(&k)
+	s.mu.RLock()
+	d, ok := s.m[k]
+	s.mu.RUnlock()
+	return d, ok
+}
+
+// put stores a decision computed under the given group generation,
+// flushing stale epochs first and epoch-resetting a full shard.
+func (c *decisionCache) put(k cacheKey, gen uint64, d Decision) {
+	if c.gen.Load() != gen {
+		c.flushTo(gen)
+	}
+	s := c.shardFor(&k)
+	s.mu.Lock()
+	if len(s.m) >= c.maxPerShard {
+		obs.MatchCacheEvictions.Add(int64(len(s.m)))
+		clear(s.m)
+	}
+	s.m[k] = d
+	s.mu.Unlock()
+}
+
+// flushTo clears every shard and advances the cache to generation gen.
+func (c *decisionCache) flushTo(gen uint64) {
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+	if c.gen.Load() == gen {
+		return
+	}
+	evicted := int64(0)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		evicted += int64(len(s.m))
+		clear(s.m)
+		s.mu.Unlock()
+	}
+	obs.MatchCacheEvictions.Add(evicted)
+	c.gen.Store(gen)
+}
+
+// len reports the total live entries (test/diagnostic helper).
+func (c *decisionCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

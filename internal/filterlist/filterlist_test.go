@@ -227,16 +227,80 @@ func TestGroupMerging(t *testing.T) {
 	}
 }
 
-func TestIndexToken(t *testing.T) {
-	tests := []struct{ pattern, want string }{
-		{"doubleclick.net^", "doubleclick.net"},
-		{"ads^", ""}, // too short
-		{"*", ""},    // no literal
-		{"a*bc^defgh", "defgh"},
+func TestPatternTokenCandidates(t *testing.T) {
+	// want lists the token substrings whose hashes must be candidates,
+	// in pattern order.
+	tests := []struct {
+		rule string
+		want []string
+	}{
+		// "||" anchors the host start, so the leading run is bounded;
+		// the trailing run before '^' is bounded on both sides.
+		{"||doubleclick.net^", []string{"doubleclick", "net"}},
+		// Unanchored trailing run: the URL token could continue.
+		{"/tracking/pixel", []string{"tracking"}},
+		// Leading run of an unanchored pattern can start mid-token.
+		{"banner/img^", []string{"img"}},
+		// Runs adjoining '*' are unusable on that side.
+		{"/banner/*/img^", []string{"banner", "img"}},
+		{"/ad*vert/", nil},
+		// Start/end anchors bound the pattern edges.
+		{"|http://ads.", []string{"http", "ads"}},
+		{".swf|", []string{"swf"}},
+		// Too-short runs are skipped ('ad', 'js').
+		{"/ad/v1/main.js^", []string{"main"}},
 	}
 	for _, tc := range tests {
-		if got := indexToken(tc.pattern); got != tc.want {
-			t.Errorf("indexToken(%q) = %q, want %q", tc.pattern, got, tc.want)
+		r := mustRule(t, tc.rule)
+		got := patternTokenCandidates(r)
+		var want []uint64
+		for _, s := range tc.want {
+			want = append(want, hashRange(s, 0, len(s)))
+		}
+		if len(got) != len(want) {
+			t.Errorf("patternTokenCandidates(%q) = %d tokens, want %d (%q)", tc.rule, len(got), len(want), tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("patternTokenCandidates(%q)[%d] != hash(%q)", tc.rule, i, tc.want[i])
+			}
+		}
+	}
+}
+
+func TestURLTokenization(t *testing.T) {
+	target := "http://sub.ads-site.example/banner/300x250/img.js?uid=42abc"
+	toks := appendURLTokens(nil, target)
+	for _, s := range []string{"http", "sub", "ads", "site", "example", "banner", "300x250", "img"} {
+		h := hashRange(s, 0, len(s))
+		found := false
+		for _, tk := range toks {
+			if tk == h {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("token %q missing from %q", s, target)
+		}
+	}
+	// Too-short runs must not be hashed.
+	for _, s := range []string{"js", "42"} {
+		h := hashRange(s, 0, len(s))
+		for _, tk := range toks {
+			if tk == h {
+				t.Errorf("short run %q was tokenized", s)
+			}
+		}
+	}
+	// Duplicate runs are deduped.
+	dup := appendURLTokens(nil, "http://ads.example/ads/ads.gif")
+	seen := map[uint64]int{}
+	for _, tk := range dup {
+		seen[tk]++
+		if seen[tk] > 1 {
+			t.Error("duplicate token hash survived dedup")
 		}
 	}
 }

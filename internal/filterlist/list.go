@@ -2,10 +2,19 @@ package filterlist
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
-// List is a compiled filter list: block rules and exception rules with a
-// literal-token index for fast candidate selection.
+// List is a compiled filter list: block rules and exception rules with
+// a tokenized reverse index (index.go) for candidate selection. Rules
+// are accumulated with Add and compiled lazily on first match; the
+// compiled form is immutable and published atomically, so matching is
+// safe from any number of goroutines. Add after matching has started
+// invalidates the compiled form (and, through the list generation, any
+// group decision caches).
 type List struct {
 	// Name identifies the list (e.g. "easylist", "easyprivacy").
 	Name string
@@ -13,18 +22,23 @@ type List struct {
 	blocks     []*Rule
 	exceptions []*Rule
 
-	// blockIndex maps a literal token to the block rules containing it;
-	// blockRest holds rules with no usable token.
-	blockIndex map[string][]*Rule
-	blockRest  []*Rule
-
 	// Skipped counts lines that were comments/unsupported and ignored.
 	Skipped int
+
+	// gen counts mutations; group caches use the sum over their lists
+	// as the cache generation.
+	gen atomic.Uint64
+
+	compiled  atomic.Pointer[compiledList]
+	compileMu sync.Mutex
+	// Previous index-fill gauge contribution, replaced on recompile
+	// (guarded by compileMu).
+	contribRules, contribTokens, contribRest int64
 }
 
 // NewList returns an empty named list.
 func NewList(name string) *List {
-	return &List{Name: name, blockIndex: map[string][]*Rule{}}
+	return &List{Name: name}
 }
 
 // Parse compiles filter-list text. Comment lines, element-hiding rules,
@@ -50,40 +64,45 @@ func Parse(name, text string) *List {
 	return l
 }
 
-// Add inserts one rule into the list and its index.
+// Add inserts one rule into the list, invalidating the compiled index.
 func (l *List) Add(r *Rule) {
 	if r.Exception {
 		l.exceptions = append(l.exceptions, r)
-		return
-	}
-	l.blocks = append(l.blocks, r)
-	if tok := indexToken(r.pattern); tok != "" {
-		l.blockIndex[tok] = append(l.blockIndex[tok], r)
 	} else {
-		l.blockRest = append(l.blockRest, r)
+		l.blocks = append(l.blocks, r)
 	}
+	l.compiled.Store(nil)
+	l.gen.Add(1)
 }
 
 // Len returns the number of active (block + exception) rules.
 func (l *List) Len() int { return len(l.blocks) + len(l.exceptions) }
 
-// indexToken extracts the longest literal run (no '*', '^') of length >= 4
-// from the pattern, used as the index key.
-func indexToken(pattern string) string {
-	best := ""
-	start := 0
-	for i := 0; i <= len(pattern); i++ {
-		if i == len(pattern) || pattern[i] == '*' || pattern[i] == '^' {
-			if i-start > len(best) {
-				best = pattern[start:i]
-			}
-			start = i + 1
-		}
+// ensureCompiled returns the list's compiled index, building it on
+// first use (double-checked under compileMu so concurrent matchers
+// build at most once).
+func (l *List) ensureCompiled() *compiledList {
+	if c := l.compiled.Load(); c != nil {
+		return c
 	}
-	if len(best) < 4 {
-		return ""
+	l.compileMu.Lock()
+	defer l.compileMu.Unlock()
+	if c := l.compiled.Load(); c != nil {
+		return c
 	}
-	return best
+	c := &compiledList{
+		block: buildIndex(l.blocks),
+		exc:   buildIndex(l.exceptions),
+	}
+	rules := int64(c.block.ruleCount + c.exc.ruleCount)
+	tokens := int64(c.block.tokenCount + c.exc.tokenCount)
+	rest := int64(len(c.block.rest) + len(c.exc.rest))
+	obs.MatchIndexRules.Add(rules - l.contribRules)
+	obs.MatchIndexTokens.Add(tokens - l.contribTokens)
+	obs.MatchIndexRest.Add(rest - l.contribRest)
+	l.contribRules, l.contribTokens, l.contribRest = rules, tokens, rest
+	l.compiled.Store(c)
+	return c
 }
 
 // Decision is the outcome of matching one request against a list (or a
@@ -97,89 +116,137 @@ type Decision struct {
 	Rule *Rule
 	// Exception is the exception rule that overrode the block, if any.
 	Exception *Rule
-	// List names the list the deciding rule came from.
+	// List names the list the deciding rule came from (the exception's
+	// list when one overrode the block).
 	List string
 }
 
+// referenceMode routes Match calls through the retained linear oracle
+// (reference.go) instead of the indexed engine. It exists for
+// differential and dataset-equivalence testing only; the oracle is the
+// seed implementation's semantics.
+var referenceMode atomic.Bool
+
+// SetReferenceMode toggles reference-oracle matching process-wide. Test
+// hook: the oracle is orders of magnitude slower than the engine.
+func SetReferenceMode(on bool) { referenceMode.Store(on) }
+
 // Match evaluates the request: a block rule must match and no exception
 // rule may match. Exceptions are evaluated only when a block matched,
-// mirroring ABP behaviour.
+// mirroring ABP behaviour. When several block rules match, the earliest
+// added wins deterministically.
 func (l *List) Match(req Request) Decision {
-	block := l.firstBlockMatch(req)
+	if referenceMode.Load() {
+		return l.refMatch(req)
+	}
+	sc := getScratch()
+	sc.prepare(req.URL)
+	d := l.matchPrepared(sc, req)
+	putScratch(sc)
+	return d
+}
+
+// matchPrepared is Match over an already-prepared scratch target.
+func (l *List) matchPrepared(sc *matchScratch, req Request) Decision {
+	c := l.ensureCompiled()
+	block, _ := c.block.matchBest(sc, req)
 	if block == nil {
 		return Decision{}
 	}
-	for _, ex := range l.exceptions {
-		if ex.MatchesRequest(req) {
-			return Decision{Blocked: false, Rule: block, Exception: ex, List: l.Name}
-		}
+	if ex, _ := c.exc.matchBest(sc, req); ex != nil {
+		return Decision{Blocked: false, Rule: block, Exception: ex, List: l.Name}
 	}
 	return Decision{Blocked: true, Rule: block, List: l.Name}
 }
 
-// firstBlockMatch returns the first matching block rule, consulting the
-// token index first.
-func (l *List) firstBlockMatch(req Request) *Rule {
-	target := strings.ToLower(req.URL.String())
-	seen := map[*Rule]bool{}
-	for tok, rules := range l.blockIndex {
-		if !strings.Contains(target, tok) {
-			continue
-		}
-		for _, r := range rules {
-			if seen[r] {
-				continue
-			}
-			seen[r] = true
-			if r.MatchesRequest(req) {
-				return r
-			}
-		}
-	}
-	for _, r := range l.blockRest {
-		if r.MatchesRequest(req) {
-			return r
-		}
-	}
-	return nil
-}
-
 // Group is an ordered collection of lists evaluated together (the paper
-// uses EasyList + EasyPrivacy). A request is blocked when any list blocks
-// it and no list's exception rule matches it.
+// uses EasyList + EasyPrivacy). A request is blocked when any list
+// blocks it and no list's exception rule matches it. Groups built with
+// NewGroup carry a bounded decision cache (cache.go).
 type Group struct {
 	Lists []*List
+
+	cache *decisionCache
 }
 
-// NewGroup builds a group over the given lists.
-func NewGroup(lists ...*List) *Group { return &Group{Lists: lists} }
+// NewGroup builds a group over the given lists with the default
+// decision-cache size.
+func NewGroup(lists ...*List) *Group {
+	return &Group{Lists: lists, cache: newDecisionCache(defaultCacheSize)}
+}
+
+// SetCacheSize resizes the group's decision cache to the given total
+// entry bound; 0 disables caching. Not safe to call concurrently with
+// Match.
+func (g *Group) SetCacheSize(totalEntries int) {
+	g.cache = newDecisionCache(totalEntries)
+}
+
+// generation sums the member lists' mutation counters; the decision
+// cache is valid for exactly one generation.
+func (g *Group) generation() uint64 {
+	var gen uint64
+	for _, l := range g.Lists {
+		gen += l.gen.Load()
+	}
+	return gen
+}
 
 // Match evaluates the request against every list. An exception in any
-// list protects the request from block rules in every list, matching how
-// blockers merge subscriptions.
+// list protects the request from block rules in every list, matching
+// how blockers merge subscriptions. The deciding block rule is the
+// first match in (list order, rule order); the overriding exception,
+// when one exists, is likewise the first in that order.
 func (g *Group) Match(req Request) Decision {
-	var block Decision
-	for _, l := range g.Lists {
-		d := l.Match(req)
-		if d.Exception != nil {
+	if referenceMode.Load() {
+		return g.refMatch(req)
+	}
+	obs.MatchRequests.Inc()
+	var gen uint64
+	if g.cache != nil {
+		gen = g.generation()
+		if d, ok := g.cache.get(cacheKey{url: req.URL.Raw, page: req.PageHost, typ: req.Type}, gen); ok {
+			obs.MatchCacheHits.Inc()
 			return d
 		}
-		if d.Blocked && !block.Blocked {
-			block = d
+		obs.MatchCacheMisses.Inc()
+	}
+	sc := getScratch()
+	sc.prepare(req.URL)
+	sp := obs.StartSpan(obs.MatchEval)
+	d := g.matchPrepared(sc, req)
+	sp.End()
+	putScratch(sc)
+	if g.cache != nil {
+		g.cache.put(cacheKey{url: req.URL.Raw, page: req.PageHost, typ: req.Type}, gen, d)
+	}
+	return d
+}
+
+// matchPrepared runs the full (uncached) group evaluation: the target
+// is lowered and tokenized exactly once, each list's block index is
+// consulted in order until one blocks, and — only then — each list's
+// exception index is consulted at most once.
+func (g *Group) matchPrepared(sc *matchScratch, req Request) Decision {
+	var block *Rule
+	var blockList string
+	for _, l := range g.Lists {
+		c := l.ensureCompiled()
+		if r, _ := c.block.matchBest(sc, req); r != nil {
+			block, blockList = r, l.Name
+			break
 		}
 	}
-	if !block.Blocked {
+	if block == nil {
 		return Decision{}
 	}
-	// A block from one list can still be excepted by another list.
 	for _, l := range g.Lists {
-		for _, ex := range l.exceptions {
-			if ex.MatchesRequest(req) {
-				return Decision{Blocked: false, Rule: block.Rule, Exception: ex, List: l.Name}
-			}
+		c := l.ensureCompiled()
+		if ex, _ := c.exc.matchBest(sc, req); ex != nil {
+			return Decision{Blocked: false, Rule: block, Exception: ex, List: l.Name}
 		}
 	}
-	return block
+	return Decision{Blocked: true, Rule: block, List: blockList}
 }
 
 // RuleCount returns the total active rules across the group.

@@ -1,0 +1,66 @@
+package filterlist
+
+// The reference oracle: the seed implementation's matching semantics,
+// kept as straight-line rule-by-rule scans with none of the engine's
+// machinery (no index, no cache, no prepared target). It exists so the
+// indexed engine always has a slow-but-obviously-correct twin to be
+// checked against — the differential property test in engine_test.go
+// drives generated rule corpora and URLs through both and requires
+// identical decisions, and internal/core's dataset-equivalence test
+// re-runs a full crawl under SetReferenceMode and requires
+// byte-identical study JSON.
+//
+// Decision priority is the engine's contract — first match in (list
+// order, rule insertion order) for both the block and the overriding
+// exception — which the linear scans realize trivially. The seed's
+// Blocked semantics are preserved exactly: a request is blocked iff
+// some list's block rule matches and no list's exception matches.
+
+// refMatch is List.Match by linear scan.
+func (l *List) refMatch(req Request) Decision {
+	var block *Rule
+	for _, r := range l.blocks {
+		if r.MatchesRequest(req) {
+			block = r
+			break
+		}
+	}
+	if block == nil {
+		return Decision{}
+	}
+	for _, ex := range l.exceptions {
+		if ex.MatchesRequest(req) {
+			return Decision{Blocked: false, Rule: block, Exception: ex, List: l.Name}
+		}
+	}
+	return Decision{Blocked: true, Rule: block, List: l.Name}
+}
+
+// refMatch is Group.Match by linear scan: first blocking list wins,
+// then every list's exceptions are consulted in order.
+func (g *Group) refMatch(req Request) Decision {
+	var block *Rule
+	var blockList string
+	for _, l := range g.Lists {
+		for _, r := range l.blocks {
+			if r.MatchesRequest(req) {
+				block, blockList = r, l.Name
+				break
+			}
+		}
+		if block != nil {
+			break
+		}
+	}
+	if block == nil {
+		return Decision{}
+	}
+	for _, l := range g.Lists {
+		for _, ex := range l.exceptions {
+			if ex.MatchesRequest(req) {
+				return Decision{Blocked: false, Rule: block, Exception: ex, List: l.Name}
+			}
+		}
+	}
+	return Decision{Blocked: true, Rule: block, List: blockList}
+}

@@ -218,6 +218,13 @@ type Request struct {
 // MatchesRequest reports whether the rule matches the request, evaluating
 // options first (cheap) and then the URL pattern.
 func (r *Rule) MatchesRequest(req Request) bool {
+	return r.matchesRequestTarget(req, strings.ToLower(req.URL.String()))
+}
+
+// matchesRequestTarget is MatchesRequest over a pre-lowered target
+// string, so the engine lowers each URL once per request instead of
+// once per candidate rule.
+func (r *Rule) matchesRequestTarget(req Request, target string) bool {
 	if r.types&MaskForResource(req.Type) == 0 {
 		return false
 	}
@@ -247,16 +254,21 @@ func (r *Rule) MatchesRequest(req Request) bool {
 			return false
 		}
 	}
-	return r.MatchesURL(req.URL)
+	return r.matchesTarget(target, req.URL.Host)
 }
 
 // MatchesURL reports whether the rule's pattern matches the URL,
 // ignoring options.
 func (r *Rule) MatchesURL(u *urlutil.URL) bool {
-	target := strings.ToLower(u.String())
+	return r.matchesTarget(strings.ToLower(u.String()), u.Host)
+}
+
+// matchesTarget matches the rule's pattern against a pre-lowered
+// rendering of the URL (urlutil.URL.String form).
+func (r *Rule) matchesTarget(target, host string) bool {
 	switch {
 	case r.domainAnchor:
-		return r.matchDomainAnchored(target, u.Host)
+		return r.matchDomainAnchored(target, host)
 	case r.startAnchor:
 		return matchPatternAt(r.pattern, target, 0, r.endAnchor)
 	default:

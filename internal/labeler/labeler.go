@@ -8,12 +8,22 @@
 // It also implements the paper's Cloudfront handling: opaque CDN hosts
 // that serve A&A scripts are detected by chain adjacency and mapped to
 // their owning company through a manual table.
+//
+// Concurrency: the labeler sits on the per-page hot path of every crawl
+// worker, so it avoids a single global lock. The CDN map is an
+// immutable copy-on-write snapshot read without locking, registrable-
+// domain extraction is memoized in a concurrent map, and the a(d)/n(d)
+// observation counts are sharded by domain hash so workers labeling
+// different domains never contend. Readers (Domains, Counts,
+// CDNCandidates) merge across shards and are unaffected by shard
+// layout, so results stay deterministic.
 package labeler
 
 import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/devtools"
 	"repro/internal/filterlist"
@@ -21,52 +31,94 @@ import (
 	"repro/internal/urlutil"
 )
 
-// Labeler accumulates per-domain A&A observations.
-type Labeler struct {
-	group *filterlist.Group
+// countShardCount is the number of observation shards. 16 comfortably
+// exceeds the crawl worker counts the orchestrator runs.
+const countShardCount = 16
 
-	mu     sync.Mutex
-	aa     map[string]int // a(d)
-	non    map[string]int // n(d)
-	cdnMap map[string]string
-
+// countShard holds the per-domain tallies whose domains hash here.
+type countShard struct {
+	mu  sync.Mutex
+	aa  map[string]int // a(d)
+	non map[string]int // n(d)
 	// cdnCandidates counts how often an opaque CDN host appears
 	// adjacent to an A&A-tagged resource in an inclusion chain.
 	cdnCandidates map[string]int
 }
 
+// Labeler accumulates per-domain A&A observations.
+type Labeler struct {
+	group *filterlist.Group
+
+	// cdnMap is an immutable snapshot, replaced wholesale by SetCDNMap
+	// (copy-on-write) and read lock-free on every MapDomain call.
+	cdnMap atomic.Pointer[map[string]string]
+	cdnMu  sync.Mutex // serializes SetCDNMap writers
+
+	// domMemo caches RegistrableDomain per host — the extraction is
+	// pure, and a crawl resolves the same hosts millions of times.
+	domMemo sync.Map // string -> string
+
+	shards [countShardCount]countShard
+}
+
 // New builds a labeler over the given rule lists (the paper uses
 // EasyList and EasyPrivacy).
 func New(lists ...*filterlist.List) *Labeler {
-	return &Labeler{
-		group:         filterlist.NewGroup(lists...),
-		aa:            map[string]int{},
-		non:           map[string]int{},
-		cdnMap:        map[string]string{},
-		cdnCandidates: map[string]int{},
+	l := &Labeler{group: filterlist.NewGroup(lists...)}
+	for i := range l.shards {
+		l.shards[i] = countShard{
+			aa:            map[string]int{},
+			non:           map[string]int{},
+			cdnCandidates: map[string]int{},
+		}
 	}
+	return l
+}
+
+// shardFor returns the shard owning a domain's tallies.
+func (l *Labeler) shardFor(domain string) *countShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(domain); i++ {
+		h = (h ^ uint64(domain[i])) * 1099511628211
+	}
+	return &l.shards[h&(countShardCount-1)]
 }
 
 // SetCDNMap installs the manual CDN-host-to-company mapping (the 13
-// Cloudfront domains of §3.2).
+// Cloudfront domains of §3.2). The update is copy-on-write: readers
+// keep seeing the previous immutable snapshot until the merged one is
+// published atomically.
 func (l *Labeler) SetCDNMap(m map[string]string) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for k, v := range m {
-		l.cdnMap[strings.ToLower(k)] = v
+	l.cdnMu.Lock()
+	defer l.cdnMu.Unlock()
+	old := l.cdnMap.Load()
+	merged := make(map[string]string, len(m))
+	if old != nil {
+		for k, v := range *old {
+			merged[k] = v
+		}
 	}
+	for k, v := range m {
+		merged[strings.ToLower(k)] = v
+	}
+	l.cdnMap.Store(&merged)
 }
 
 // MapDomain resolves a host to the 2nd-level domain used for counting,
-// applying the CDN mapping first.
+// applying the CDN mapping first. Lock-free: the CDN snapshot is
+// immutable and the registrable-domain extraction is memoized.
 func (l *Labeler) MapDomain(host string) string {
-	l.mu.Lock()
-	mapped, ok := l.cdnMap[strings.ToLower(host)]
-	l.mu.Unlock()
-	if ok {
-		return mapped
+	if m := l.cdnMap.Load(); m != nil {
+		if mapped, ok := (*m)[strings.ToLower(host)]; ok {
+			return mapped
+		}
 	}
-	return urlutil.RegistrableDomain(host)
+	if d, ok := l.domMemo.Load(host); ok {
+		return d.(string)
+	}
+	d := urlutil.RegistrableDomain(host)
+	l.domMemo.Store(host, d)
+	return d
 }
 
 // opaqueCDNSuffixes are shared-CDN suffixes whose subdomains carry no
@@ -134,18 +186,26 @@ func (l *Labeler) TagTree(t *inclusion.Tree) (aa, non, cdn map[string]int) {
 }
 
 // AddObservations folds observation deltas (as produced by TagTree)
-// into the per-domain counts.
+// into the per-domain counts, taking only the shard lock each domain
+// hashes to.
 func (l *Labeler) AddObservations(aa, non, cdn map[string]int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	for d, n := range aa {
-		l.aa[d] += n
+		s := l.shardFor(d)
+		s.mu.Lock()
+		s.aa[d] += n
+		s.mu.Unlock()
 	}
 	for d, n := range non {
-		l.non[d] += n
+		s := l.shardFor(d)
+		s.mu.Lock()
+		s.non[d] += n
+		s.mu.Unlock()
 	}
 	for h, n := range cdn {
-		l.cdnCandidates[h] += n
+		s := l.shardFor(h)
+		s.mu.Lock()
+		s.cdnCandidates[h] += n
+		s.mu.Unlock()
 	}
 }
 
@@ -156,13 +216,14 @@ func (l *Labeler) Observe(host string, isAA bool) {
 	if d == "" {
 		return
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	s := l.shardFor(d)
+	s.mu.Lock()
 	if isAA {
-		l.aa[d]++
+		s.aa[d]++
 	} else {
-		l.non[d]++
+		s.non[d]++
 	}
+	s.mu.Unlock()
 }
 
 // Threshold is the a(d) ≥ Threshold · n(d) cutoff from §3.2.
@@ -177,40 +238,51 @@ func (l *Labeler) Domains() map[string]bool {
 // DomainsAtThreshold computes D′ under an alternative threshold, for
 // the ablation benchmarks.
 func (l *Labeler) DomainsAtThreshold(threshold float64) map[string]bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	out := map[string]bool{}
-	for d, a := range l.aa {
-		if a == 0 {
-			continue
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		for d, a := range s.aa {
+			if a == 0 {
+				continue
+			}
+			if float64(a) >= threshold*float64(s.non[d]) {
+				out[d] = true
+			}
 		}
-		if float64(a) >= threshold*float64(l.non[d]) {
-			out[d] = true
-		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // Counts returns (a(d), n(d)) for a domain.
 func (l *Labeler) Counts(domain string) (aa, non int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.aa[domain], l.non[domain]
+	s := l.shardFor(domain)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aa[domain], s.non[domain]
 }
 
 // CDNCandidates lists opaque CDN hosts observed adjacent to A&A
 // resources, most frequent first — the list a human (or the world's
 // ground-truth map) turns into SetCDNMap input.
 func (l *Labeler) CDNCandidates() []string {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	hosts := make([]string, 0, len(l.cdnCandidates))
-	for h := range l.cdnCandidates {
+	counts := map[string]int{}
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		for h, n := range s.cdnCandidates {
+			counts[h] += n
+		}
+		s.mu.Unlock()
+	}
+	hosts := make([]string, 0, len(counts))
+	for h := range counts {
 		hosts = append(hosts, h)
 	}
 	sort.Slice(hosts, func(i, j int) bool {
-		if l.cdnCandidates[hosts[i]] != l.cdnCandidates[hosts[j]] {
-			return l.cdnCandidates[hosts[i]] > l.cdnCandidates[hosts[j]]
+		if counts[hosts[i]] != counts[hosts[j]] {
+			return counts[hosts[i]] > counts[hosts[j]]
 		}
 		return hosts[i] < hosts[j]
 	})

@@ -42,6 +42,23 @@ const (
 	MServerHandshakes = "webserver.ws_handshakes"
 	MServerMessages   = "webserver.ws_messages"
 
+	// Filter-match engine (internal/filterlist). Requests counts every
+	// Group.Match; hits+misses partition the cached ones; evictions
+	// counts entries dropped by shard epoch resets or generation
+	// flushes. The index gauges report the compiled reverse index's
+	// fill: indexed rules, distinct token buckets, and rules on the
+	// always-scanned rest path.
+	MMatchRequests       = "match.requests"
+	MMatchCacheHits      = "match.cache_hits"
+	MMatchCacheMisses    = "match.cache_misses"
+	MMatchCacheEvictions = "match.cache_evictions"
+	MMatchIndexRules     = "match.index_rules"
+	MMatchIndexTokens    = "match.index_tokens"
+	MMatchIndexRest      = "match.index_rest"
+
+	// MMatchEval times full (cache-miss) filter evaluations.
+	MMatchEval = "match.eval"
+
 	// Per-stage latency histograms, in pipeline order.
 	MStageFetch      = "stage.fetch"
 	MStageParse      = "stage.parse"
@@ -75,6 +92,15 @@ var (
 	ServerRequests   = Default.Counter(MServerRequests)
 	ServerHandshakes = Default.Counter(MServerHandshakes)
 	ServerMessages   = Default.Counter(MServerMessages)
+
+	MatchRequests       = Default.Counter(MMatchRequests)
+	MatchCacheHits      = Default.Counter(MMatchCacheHits)
+	MatchCacheMisses    = Default.Counter(MMatchCacheMisses)
+	MatchCacheEvictions = Default.Counter(MMatchCacheEvictions)
+	MatchIndexRules     = Default.Gauge(MMatchIndexRules)
+	MatchIndexTokens    = Default.Gauge(MMatchIndexTokens)
+	MatchIndexRest      = Default.Gauge(MMatchIndexRest)
+	MatchEval           = Default.Histogram(MMatchEval)
 
 	StageFetch      = Default.Histogram(MStageFetch)
 	StageParse      = Default.Histogram(MStageParse)
