@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-obs bench-match bench-match-smoke lint fmt-check ci clean
+.PHONY: all build vet test race chaos bench-obs bench-match bench-match-smoke lint fmt-check ci clean
 
 all: ci
 
@@ -21,6 +21,16 @@ test:
 race:
 	$(GO) test -race ./...
 	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/dispatch/... ./internal/crawler/... ./internal/obs/...
+	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'Chaos' ./internal/core/
+
+# Chaos soak (DESIGN.md §11, OPERATIONS.md "Chaos testing"): full-size
+# crawls under every faultnet profile, asserting termination, settled
+# accounting, no goroutine leaks, and the byte-identity guarantees of
+# the fault-seed determinism contract. `ci` runs the -short variant via
+# the race target; this target is the full soak.
+chaos:
+	$(GO) test -count=1 -run 'Chaos' -v ./internal/core/
+	$(GO) test -count=1 ./internal/faultnet/ ./internal/wsproto/ ./internal/browser/
 
 # Hot-path observability benchmarks. Counter/gauge/histogram ops must
 # report 0 allocs/op; BENCH_obs.json records the accepted baseline.

@@ -7,6 +7,13 @@
 //	        [-workers N] [-pages N] [-seed S] [-version 57]
 //	        [-checkpoint FILE] [-spool-dir DIR] [-resume] [-retries N]
 //	        [-shards N] [-metrics-addr HOST:PORT] [-progress DUR]
+//	        [-fault-profile NAME] [-fault-seed S]
+//
+// -fault-profile degrades the crawl's network with deterministic,
+// seeded fault injection (internal/faultnet): latency, torn writes,
+// truncation, resets, handshake stalls — per the named profile. The
+// same -fault-seed reproduces the same fault schedule and therefore
+// the same dataset. See OPERATIONS.md "Chaos testing".
 //
 // With -checkpoint or -spool-dir the crawl runs through the durable
 // orchestrator (internal/dispatch): progress is checkpointed, failed
@@ -31,9 +38,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dispatch"
+	"repro/internal/faultnet"
 	"repro/internal/obs"
 	"repro/internal/webgen"
 )
@@ -55,6 +64,8 @@ func main() {
 		shards      = flag.Int("shards", 0, "spool shard count (default 8)")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar + pprof on this address (\":0\" picks a port)")
 		progress    = flag.Duration("progress", 0, "print progress to stderr at this interval (0 = off)")
+		faultProf   = flag.String("fault-profile", "", "inject network faults from this profile: "+strings.Join(faultnet.Names(), ", "))
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault schedules (same seed = same faults)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -99,7 +110,10 @@ func main() {
 		CrawlIndex:     *index,
 		BrowserVersion: bv,
 	}
-	opts := core.Options{Seed: *seed, NumPublishers: *publishers, Workers: *workers, PagesPerSite: *pages}
+	opts := core.Options{
+		Seed: *seed, NumPublishers: *publishers, Workers: *workers, PagesPerSite: *pages,
+		FaultProfile: *faultProf, FaultSeed: *faultSeed,
+	}
 
 	if *checkpoint != "" || *spoolDir != "" || *resume {
 		cp, sd := *checkpoint, *spoolDir

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"strings"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/content"
 	"repro/internal/devtools"
 	"repro/internal/dom"
+	"repro/internal/faultnet"
 	"repro/internal/htmlparse"
 	"repro/internal/obs"
 	"repro/internal/payload"
@@ -74,8 +76,25 @@ type Config struct {
 	// FollowAdRefs fetches ad images referenced in WebSocket responses
 	// (the Lockerdome pattern). Default true.
 	FollowAdRefs bool
-	// SocketTimeout bounds each WebSocket session (default 10s).
+	// SocketTimeout bounds each WebSocket session: the dial, and then
+	// each subsequent message send/receive (the deadline refreshes per
+	// message, so long-lived sockets stay up while traffic flows).
+	// Default 10s.
 	SocketTimeout time.Duration
+
+	// Fault, when enabled, degrades every WebSocket transport conn this
+	// browser dials (internal/faultnet). Per-socket schedules derive
+	// from (FaultSeed, Seed, dial sequence), so a given crawl seed and
+	// fault seed reproduce the same schedule on the same socket.
+	Fault     faultnet.Profile
+	FaultSeed int64
+	// DialRetries is the number of extra WebSocket dial attempts after
+	// a transient dial failure (default 0: single attempt). Attempts
+	// back off exponentially from DialRetryBackoff (default 25ms) with
+	// seeded jitter; the jitter RNG is separate from the behavioral
+	// RNG, so enabling retries does not perturb fault-free crawls.
+	DialRetries      int
+	DialRetryBackoff time.Duration
 }
 
 // Browser is one browser instance (one synthetic user). It is not safe
@@ -88,6 +107,13 @@ type Browser struct {
 	rng    *rand.Rand
 	// cookies maps registrable domains to this user's cookie string.
 	cookies map[string]string
+
+	// dialSeq numbers transport dials (including retries) so per-socket
+	// fault seeds are stable; backoffRng jitters dial-retry backoff.
+	// Both stay outside b.rng's stream: they draw nothing unless a dial
+	// actually fails, keeping fault-free crawls byte-identical.
+	dialSeq    int64
+	backoffRng *rand.Rand
 }
 
 // guardEntry pairs a SocketGuard with its extension name for blocked
@@ -109,6 +135,9 @@ func New(cfg Config, exts ...Extension) *Browser {
 	if cfg.SocketTimeout == 0 {
 		cfg.SocketTimeout = 10 * time.Second
 	}
+	if cfg.DialRetryBackoff == 0 {
+		cfg.DialRetryBackoff = 25 * time.Millisecond
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	b := &Browser{
 		cfg:     cfg,
@@ -116,6 +145,8 @@ func New(cfg Config, exts ...Extension) *Browser {
 		state:   payload.NewClientState(rng),
 		rng:     rng,
 		cookies: map[string]string{},
+		backoffRng: rand.New(rand.NewSource(
+			faultnet.DeriveSeed(cfg.FaultSeed, cfg.Seed, 0x7e77))),
 	}
 	b.cfg.FollowAdRefs = true
 	for _, ext := range exts {
@@ -500,9 +531,17 @@ func (l *pageLoad) openWebSocket(frameID devtools.FrameID, op script.Op, init de
 		Rand:        l.b.rng,
 		Header:      httpHeader,
 	}
-	ctx, cancel := context.WithTimeout(l.ctx, l.b.cfg.SocketTimeout)
-	defer cancel()
-	conn, _, err := dialer.Dial(ctx, u.String())
+	if l.b.cfg.Fault.Enabled() {
+		// Visits are sequential per browser, so the dial sequence — and
+		// with it each socket's fault schedule — is a pure function of
+		// the (crawl seed, fault seed) pair, not of goroutine timing.
+		dialer.WrapConn = func(nc net.Conn) net.Conn {
+			l.b.dialSeq++
+			return faultnet.WrapConn(nc, l.b.cfg.Fault,
+				faultnet.DeriveSeed(l.b.cfg.FaultSeed, l.b.cfg.Seed, l.b.dialSeq))
+		}
+	}
+	conn, err := l.dialWebSocket(&dialer, u.String())
 	if err != nil {
 		l.result.NetErrors++
 		l.bus.Emit(devtools.WebSocketHandshakeResponseReceived{SocketID: sockID, Status: 0})
@@ -510,8 +549,13 @@ func (l *pageLoad) openWebSocket(frameID devtools.FrameID, op script.Op, init de
 		return
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(l.b.cfg.SocketTimeout))
 	l.bus.Emit(devtools.WebSocketHandshakeResponseReceived{SocketID: sockID, Status: 101})
+
+	// Every message send/receive below runs under a fresh SocketTimeout
+	// deadline: the timeout bounds *inactivity*, not session length, so
+	// a long-lived live-chat socket survives as long as traffic flows
+	// while a wedged peer still fails within one timeout.
+	idle := l.b.cfg.SocketTimeout
 
 	// Send the script's messages.
 	for _, spec := range op.Send {
@@ -520,14 +564,17 @@ func (l *pageLoad) openWebSocket(frameID devtools.FrameID, op script.Op, init de
 		if spec.Binary {
 			opcode = wsproto.OpBinary
 		}
+		_ = conn.SetWriteDeadline(time.Now().Add(idle))
 		if err := conn.WriteMessage(opcode, data); err != nil {
 			break
 		}
 		l.bus.Emit(devtools.WebSocketFrameSent{SocketID: sockID, Opcode: int(opcode), Payload: data})
 	}
+	_ = conn.SetWriteDeadline(time.Time{})
 	// Read the expected server pushes.
 	var adRefs []content.AdRef
 	for i := 0; i < op.Expect; i++ {
+		_ = conn.SetReadDeadline(time.Now().Add(idle))
 		opcode, msg, err := conn.ReadMessage()
 		if err != nil {
 			break
@@ -546,6 +593,37 @@ func (l *pageLoad) openWebSocket(frameID devtools.FrameID, op script.Op, init de
 	for _, ref := range adRefs {
 		if au, err := urlutil.Parse(ref.ImageURL); err == nil {
 			l.request(au, devtools.ResourceImage, frameID, init, "", nil)
+		}
+	}
+}
+
+// dialWebSocket performs the WebSocket handshake with up to DialRetries
+// extra attempts on transient failure, backing off exponentially with
+// seeded jitter between attempts. Each attempt runs under its own
+// SocketTimeout; the page context bounds the whole loop, so retries
+// never outlive the visit.
+func (l *pageLoad) dialWebSocket(dialer *wsproto.Dialer, rawURL string) (*wsproto.Conn, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithTimeout(l.ctx, l.b.cfg.SocketTimeout)
+		conn, _, err := dialer.Dial(ctx, rawURL)
+		cancel()
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if attempt >= l.b.cfg.DialRetries || l.ctx.Err() != nil {
+			return nil, lastErr
+		}
+		obs.DialRetries.Inc()
+		backoff := l.b.cfg.DialRetryBackoff << uint(attempt)
+		backoff += time.Duration(l.b.backoffRng.Int63n(int64(backoff)))
+		timer := time.NewTimer(backoff)
+		select {
+		case <-l.ctx.Done():
+			timer.Stop()
+			return nil, lastErr
+		case <-timer.C:
 		}
 	}
 }

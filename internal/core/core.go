@@ -23,6 +23,7 @@ import (
 	"repro/internal/browser"
 	"repro/internal/crawler"
 	"repro/internal/dispatch"
+	"repro/internal/faultnet"
 	"repro/internal/filterlist"
 	"repro/internal/labeler"
 	"repro/internal/webgen"
@@ -71,6 +72,14 @@ type Options struct {
 	// orchestrator (internal/dispatch): lease-backed queue, retries,
 	// checkpoint/resume, and sharded spooling.
 	Dispatch *DispatchOptions
+	// FaultProfile, when non-empty, names a faultnet profile (see
+	// faultnet.Names) injected on both sides of the wire: uniformly on
+	// the web server's listener and per-socket on every browser's
+	// WebSocket dials. FaultSeed keys the schedules; the same
+	// (Seed, FaultSeed, FaultProfile) triple reproduces the same
+	// degraded dataset byte for byte.
+	FaultProfile string
+	FaultSeed    int64
 }
 
 // DispatchOptions configures the durable orchestrator path.
@@ -144,7 +153,20 @@ func RunCrawl(ctx context.Context, opts Options, spec CrawlSpec) (*CrawlResult, 
 		Era:           spec.Era,
 		CrawlIndex:    spec.CrawlIndex,
 	})
-	server, err := webserver.Start(world)
+	var fault faultnet.Profile
+	if opts.FaultProfile != "" {
+		p, ok := faultnet.ByName(opts.FaultProfile)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown fault profile %q (have: %s)",
+				opts.FaultProfile, strings.Join(faultnet.Names(), ", "))
+		}
+		fault = p
+	}
+	faultSeed := opts.FaultSeed + int64(spec.CrawlIndex)
+	server, err := webserver.StartWith(world, webserver.Options{
+		Fault:     fault,
+		FaultSeed: faultSeed,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: start server: %w", err)
 	}
@@ -164,7 +186,7 @@ func RunCrawl(ctx context.Context, opts Options, spec CrawlSpec) (*CrawlResult, 
 	}
 
 	if opts.Dispatch != nil {
-		return runCrawlDispatch(ctx, opts, spec, server, lab, sites)
+		return runCrawlDispatch(ctx, opts, spec, server, lab, sites, fault, faultSeed)
 	}
 
 	collector := analysis.NewCollector(spec.Name, spec.Era.String(), spec.CrawlIndex, lab)
@@ -178,12 +200,12 @@ func RunCrawl(ctx context.Context, opts Options, spec CrawlSpec) (*CrawlResult, 
 			if opts.Extensions != nil {
 				exts = opts.Extensions(spec)
 			}
-			return browser.New(browser.Config{
+			return browser.New(applyFault(browser.Config{
 				Version:    spec.BrowserVersion,
 				Seed:       opts.Seed + int64(spec.CrawlIndex)*1000 + int64(worker),
 				HTTPClient: server.Client(),
 				ResolveWS:  server.Resolver(),
-			}, exts...)
+			}, fault, faultSeed), exts...)
 		},
 		OnPage: collector.OnPage,
 	}
@@ -198,7 +220,7 @@ func RunCrawl(ctx context.Context, opts Options, spec CrawlSpec) (*CrawlResult, 
 // Browsers are seeded per site (crawler.SiteSeed), so site results are
 // independent of worker assignment and retries — the property that
 // makes resumed crawls converge to the uninterrupted dataset.
-func runCrawlDispatch(ctx context.Context, opts Options, spec CrawlSpec, server *webserver.Server, lab *labeler.Labeler, sites []crawler.Site) (*CrawlResult, error) {
+func runCrawlDispatch(ctx context.Context, opts Options, spec CrawlSpec, server *webserver.Server, lab *labeler.Labeler, sites []crawler.Site, fault faultnet.Profile, faultSeed int64) (*CrawlResult, error) {
 	d := opts.Dispatch
 	crawlSeed := opts.Seed + int64(spec.CrawlIndex)
 	res, err := dispatch.Run(ctx, dispatch.Config{
@@ -218,12 +240,12 @@ func runCrawlDispatch(ctx context.Context, opts Options, spec CrawlSpec, server 
 			if opts.Extensions != nil {
 				exts = opts.Extensions(spec)
 			}
-			return browser.New(browser.Config{
+			return browser.New(applyFault(browser.Config{
 				Version:    spec.BrowserVersion,
 				Seed:       crawler.SiteSeed(crawlSeed, site.Domain),
 				HTTPClient: server.Client(),
 				ResolveWS:  server.Resolver(),
-			}, exts...)
+			}, fault, faultSeed), exts...)
 		},
 		Recorder:        analysis.NewRecorder(lab),
 		SpoolDir:        d.spoolDir(spec),
@@ -238,6 +260,23 @@ func runCrawlDispatch(ctx context.Context, opts Options, spec CrawlSpec, server 
 		return nil, fmt.Errorf("core: crawl %q: %w", spec.Name, err)
 	}
 	return &CrawlResult{Spec: spec, Dataset: res.Dataset, Stats: res.Stats, Dispatch: res}, nil
+}
+
+// applyFault arms a browser config for a degraded crawl: client-side
+// fault wrapping on its WebSocket dials, plus the dial-retry hardening
+// that keeps transient handshake failures from costing a socket. Fault
+// schedules key on the browser's Seed, so on the dispatch path (per-site
+// seeded browsers) socket outcomes stay independent of worker
+// assignment and retries, exactly like the rest of the crawl.
+func applyFault(cfg browser.Config, fault faultnet.Profile, faultSeed int64) browser.Config {
+	if !fault.Enabled() {
+		return cfg
+	}
+	cfg.Fault = fault
+	cfg.FaultSeed = faultSeed
+	cfg.DialRetries = 2
+	cfg.DialRetryBackoff = 5 * time.Millisecond
+	return cfg
 }
 
 // Study is the completed four-crawl measurement.

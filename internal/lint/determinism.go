@@ -17,6 +17,7 @@ var deterministicPackages = map[string]bool{
 	"repro/internal/payload":   true,
 	"repro/internal/content":   true,
 	"repro/internal/wsproto":   true,
+	"repro/internal/faultnet":  true,
 }
 
 // bannedRandFuncs are the math/rand package-level functions backed by

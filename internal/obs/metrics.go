@@ -42,6 +42,25 @@ const (
 	MServerHandshakes = "webserver.ws_handshakes"
 	MServerMessages   = "webserver.ws_messages"
 
+	// MDialRetries counts WebSocket dial attempts the browser retried
+	// after a transient dial failure.
+	MDialRetries = "browser.dial_retries"
+
+	// Fault-injection transport (internal/faultnet). Conns counts every
+	// wrapped connection, active gauges those not yet closed; the rest
+	// count injected events by kind: delays (latency/pacing sleeps),
+	// stalls (withheld first I/O), torn_writes (forced chunk splits),
+	// short_writes (partial final writes), cuts (clean byte-budget
+	// truncations), resets (RST-style aborts).
+	MFaultConns       = "fault.conns"
+	MFaultActive      = "fault.active"
+	MFaultDelays      = "fault.delays"
+	MFaultStalls      = "fault.stalls"
+	MFaultTornWrites  = "fault.torn_writes"
+	MFaultShortWrites = "fault.short_writes"
+	MFaultCuts        = "fault.cuts"
+	MFaultResets      = "fault.resets"
+
 	// Filter-match engine (internal/filterlist). Requests counts every
 	// Group.Match; hits+misses partition the cached ones; evictions
 	// counts entries dropped by shard epoch resets or generation
@@ -92,6 +111,17 @@ var (
 	ServerRequests   = Default.Counter(MServerRequests)
 	ServerHandshakes = Default.Counter(MServerHandshakes)
 	ServerMessages   = Default.Counter(MServerMessages)
+
+	DialRetries = Default.Counter(MDialRetries)
+
+	FaultConns       = Default.Counter(MFaultConns)
+	FaultActive      = Default.Gauge(MFaultActive)
+	FaultDelays      = Default.Counter(MFaultDelays)
+	FaultStalls      = Default.Counter(MFaultStalls)
+	FaultTornWrites  = Default.Counter(MFaultTornWrites)
+	FaultShortWrites = Default.Counter(MFaultShortWrites)
+	FaultCuts        = Default.Counter(MFaultCuts)
+	FaultResets      = Default.Counter(MFaultResets)
 
 	MatchRequests       = Default.Counter(MMatchRequests)
 	MatchCacheHits      = Default.Counter(MMatchCacheHits)

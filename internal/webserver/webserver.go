@@ -22,6 +22,7 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"repro/internal/faultnet"
 	"repro/internal/obs"
 	"repro/internal/webgen"
 	"repro/internal/wsproto"
@@ -35,11 +36,28 @@ type Stats struct {
 	NotFound       atomic.Int64
 }
 
+// Options configures optional server behavior.
+type Options struct {
+	// Fault, when enabled, degrades every accepted connection — HTTP
+	// and WebSocket alike — through internal/faultnet. The schedule is
+	// applied uniformly (faultnet.ModeUniform, seeded by FaultSeed) so
+	// accept order cannot leak into per-request outcomes.
+	Fault     faultnet.Profile
+	FaultSeed int64
+
+	// IdleTimeout bounds each individual read/write on a served
+	// WebSocket, refreshed per message — a wedged or vanished peer
+	// releases its goroutine within one timeout while an active socket
+	// lives forever. Default 30s.
+	IdleTimeout time.Duration
+}
+
 // Server serves one World.
 type Server struct {
 	World *webgen.World
 	Stats Stats
 
+	opts   Options
 	ln     net.Listener
 	srv    *http.Server
 	mu     sync.Mutex
@@ -48,13 +66,21 @@ type Server struct {
 }
 
 // Start launches the server on an ephemeral loopback port.
-func Start(w *webgen.World) (*Server, error) {
+func Start(w *webgen.World) (*Server, error) { return StartWith(w, Options{}) }
+
+// StartWith launches the server with explicit options.
+func StartWith(w *webgen.World, opts Options) (*Server, error) {
+	if opts.IdleTimeout == 0 {
+		opts.IdleTimeout = 30 * time.Second
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("webserver: listen: %w", err)
 	}
+	ln = faultnet.WrapListener(ln, opts.Fault, opts.FaultSeed, faultnet.ModeUniform)
 	s := &Server{
 		World: w,
+		opts:  opts,
 		ln:    ln,
 		socks: map[*wsproto.Conn]struct{}{},
 	}
@@ -174,6 +200,7 @@ func (s *Server) untrack(c *wsproto.Conn) {
 func (s *Server) serveSocket(conn *wsproto.Conn, ep *webgen.WSEndpoint, query string) {
 	defer s.untrack(conn)
 	defer conn.Close()
+	idle := s.opts.IdleTimeout
 	for _, msg := range s.World.WSMessages(ep, query) {
 		// Anything that is not valid UTF-8 (images, binary blobs) must
 		// travel as a binary frame, or the client's RFC 6455 text
@@ -182,13 +209,16 @@ func (s *Server) serveSocket(conn *wsproto.Conn, ep *webgen.WSEndpoint, query st
 		if !utf8.Valid(msg) {
 			op = wsproto.OpBinary
 		}
+		_ = conn.SetWriteDeadline(time.Now().Add(idle))
 		if err := conn.WriteMessage(op, msg); err != nil {
 			return
 		}
 		s.Stats.WSMessagesSent.Add(1)
 		obs.ServerMessages.Inc()
 	}
+	_ = conn.SetWriteDeadline(time.Time{})
 	for {
+		_ = conn.SetReadDeadline(time.Now().Add(idle))
 		if _, _, err := conn.ReadMessage(); err != nil {
 			return
 		}
@@ -217,6 +247,12 @@ func (s *Server) Client() *http.Client {
 			return dialer.DialContext(ctx, network, addr)
 		},
 		MaxIdleConnsPerHost: 32,
+		// Under fault injection every request must ride its own
+		// connection: pooled conns carry budget state across requests,
+		// making a request's outcome depend on which conn the pool
+		// happens to hand out — exactly the nondeterminism the uniform
+		// schedule exists to exclude.
+		DisableKeepAlives: s.opts.Fault.Enabled(),
 	}
 	return &http.Client{Transport: transport, Timeout: 30 * time.Second}
 }

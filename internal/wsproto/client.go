@@ -32,6 +32,11 @@ type Dialer struct {
 	// Header is added to the opening handshake request (e.g. Origin,
 	// Cookie, User-Agent).
 	Header http.Header
+
+	// WrapConn, if non-nil, wraps the freshly dialed transport conn
+	// before any handshake byte moves — the hook the fault-injection
+	// middleware (internal/faultnet) uses to degrade client sockets.
+	WrapConn func(net.Conn) net.Conn
 }
 
 // Dial performs the opening handshake against the ws:// or wss:// URL and
@@ -62,6 +67,9 @@ func (d *Dialer) Dial(ctx context.Context, rawURL string) (*Conn, http.Header, e
 	if err != nil {
 		return nil, nil, fmt.Errorf("wsproto: dial %s: %w", addr, err)
 	}
+	if d.WrapConn != nil {
+		nc = d.WrapConn(nc)
+	}
 	rng := d.Rand
 	if rng == nil {
 		// The one sanctioned nondeterministic RNG in the protocol layer:
@@ -73,11 +81,14 @@ func (d *Dialer) Dial(ctx context.Context, rawURL string) (*Conn, http.Header, e
 		//lint:allow determinism intentional fallback for un-seeded interop dials; measurement paths always inject Rand
 		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
-	// The context deadline must cover the handshake I/O too — a server
+	// The handshake I/O must always run under a deadline — a server
 	// that accepts TCP and then goes silent would otherwise hang the
-	// read forever.
+	// read forever. The context deadline wins when set; otherwise the
+	// protocol-level HandshakeTimeout bounds it.
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = nc.SetDeadline(deadline)
+	} else {
+		_ = nc.SetDeadline(handshakeDeadline())
 	}
 	key := GenerateKey(rng)
 	bw := bufio.NewWriter(nc)

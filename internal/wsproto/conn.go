@@ -112,6 +112,14 @@ func (c *Conn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
 // SetDeadline sets read and write deadlines on the underlying connection.
 func (c *Conn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
+// SetReadDeadline sets the read deadline on the underlying connection.
+// Callers with long-lived sockets refresh it per received message
+// instead of holding one absolute whole-conn deadline.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// SetWriteDeadline sets the write deadline on the underlying connection.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.conn.SetWriteDeadline(t) }
+
 // WriteMessage sends a complete message of the given data opcode
 // (OpText or OpBinary).
 func (c *Conn) WriteMessage(op Opcode, payload []byte) error {
