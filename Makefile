@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench-obs bench-match bench-match-smoke lint fmt-check ci clean
+.PHONY: all build vet test race chaos fabric-soak bench-obs bench-match bench-match-smoke bench-fabric bench-fabric-smoke lint fmt-check ci clean
 
 all: ci
 
@@ -20,8 +20,9 @@ test:
 # observers on separate Ps.
 race:
 	$(GO) test -race ./...
-	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/dispatch/... ./internal/crawler/... ./internal/obs/...
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/dispatch/... ./internal/crawler/... ./internal/obs/... ./internal/fabric/...
 	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'Chaos' ./internal/core/
+	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestFabricSoak' ./internal/fabric/
 
 # Chaos soak (DESIGN.md §11, OPERATIONS.md "Chaos testing"): full-size
 # crawls under every faultnet profile, asserting termination, settled
@@ -31,6 +32,15 @@ race:
 chaos:
 	$(GO) test -count=1 -run 'Chaos' -v ./internal/core/
 	$(GO) test -count=1 ./internal/faultnet/ ./internal/wsproto/ ./internal/browser/
+
+# Distributed-crawl soak (OPERATIONS.md "Distributed crawls"): the
+# coordinator + worker fleet under hostile faultnet profiles (timing
+# distortion and mid-stream connection death) plus the kill/restart and
+# real-process e2e determinism suites, full-size and race-checked.
+# `ci` runs the -short soak via the race target; this is the full soak.
+fabric-soak:
+	$(GO) test -race -count=1 -run 'TestFabricSoak|TestFabricSurvives' -v ./internal/fabric/
+	$(GO) test -count=1 -run 'TestE2EDistributedCrawl' -v ./internal/fabric/
 
 # Hot-path observability benchmarks. Counter/gauge/histogram ops must
 # report 0 allocs/op; BENCH_obs.json records the accepted baseline.
@@ -48,6 +58,15 @@ bench-match:
 bench-match-smoke:
 	$(GO) test ./internal/filterlist -bench Match -benchtime 1x -run '^$$'
 
+# Fabric dispatch benchmarks: page-frame encode/decode and a complete
+# coordinator+worker crawl round trip per iteration. BENCH_fabric.json
+# records the accepted baseline.
+bench-fabric:
+	$(GO) test ./internal/fabric -bench Fabric -benchmem -run '^$$'
+
+bench-fabric-smoke:
+	$(GO) test ./internal/fabric -bench Fabric -benchtime 1x -run '^$$'
+
 # Project-invariant analyzers (determinism, maporder, atomicfield,
 # observeonly, spanclose). Exits non-zero on any unsuppressed finding;
 # see DESIGN.md §9 for the catalogue and the //lint:allow policy.
@@ -58,7 +77,7 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt-check vet build lint test race bench-match-smoke
+ci: fmt-check vet build lint test race bench-match-smoke bench-fabric-smoke
 
 clean:
 	$(GO) clean ./...

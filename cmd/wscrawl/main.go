@@ -8,6 +8,18 @@
 //	        [-checkpoint FILE] [-spool-dir DIR] [-resume] [-retries N]
 //	        [-shards N] [-metrics-addr HOST:PORT] [-progress DUR]
 //	        [-fault-profile NAME] [-fault-seed S]
+//	wscrawl -worker ws://HOST:PORT/fabric [-worker-name NAME] [-workers N]
+//	        [-seed S] [-fault-profile NAME] [-fault-seed S]
+//
+// With -worker the process joins a wscoordd coordinator as a crawl
+// worker instead of running its own crawl: it pulls leased site batches
+// over WebSocket, rebuilds the synthetic world from the coordinator's
+// crawl config, runs the normal page pipeline, and streams page records
+// back (internal/fabric). Most local-crawl flags are irrelevant in this
+// mode — the coordinator dictates the crawl — and -out is not needed;
+// -workers still sets the in-process crawl parallelism, -seed drives
+// only dial backoff and frame masking, and -fault-profile degrades the
+// coordinator link. See OPERATIONS.md "Distributed crawls".
 //
 // -fault-profile degrades the crawl's network with deterministic,
 // seeded fault injection (internal/faultnet): latency, torn writes,
@@ -66,8 +78,33 @@ func main() {
 		progress    = flag.Duration("progress", 0, "print progress to stderr at this interval (0 = off)")
 		faultProf   = flag.String("fault-profile", "", "inject network faults from this profile: "+strings.Join(faultnet.Names(), ", "))
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault schedules (same seed = same faults)")
+		workerURL   = flag.String("worker", "", "join the wscoordd coordinator at this ws:// URL as a crawl worker")
+		workerName  = flag.String("worker-name", "", "worker name in coordinator logs (default: w<pid>)")
 	)
 	flag.Parse()
+	if *workerURL != "" {
+		name := *workerName
+		if name == "" {
+			name = fmt.Sprintf("w%d", os.Getpid())
+		}
+		err := core.RunFabricWorker(context.Background(), core.FabricWorkerOptions{
+			Name:         name,
+			URL:          *workerURL,
+			Workers:      *workers,
+			Seed:         *seed,
+			FaultProfile: *faultProf,
+			FaultSeed:    *faultSeed,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "wscrawl: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wscrawl:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wscrawl: worker %s done: crawl drained\n", name)
+		return
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "wscrawl: -out is required")
 		flag.Usage()

@@ -8,8 +8,37 @@ import (
 	"path/filepath"
 )
 
-// CheckpointVersion is the on-disk format version.
-const CheckpointVersion = 1
+// CheckpointVersion is the on-disk format version. Version 2 added the
+// optional shardBytes spool guard; version-1 files (no guard) still
+// load, so upgrading mid-study does not strand a checkpoint.
+const CheckpointVersion = 2
+
+// CheckpointError reports a checkpoint that cannot drive a resume:
+// corrupt bytes, an unsupported format version, or an incompatibility
+// with the configured crawl. It is a hard error by design — resuming
+// past it would silently produce a partial crawl — and it always
+// carries an actionable hint.
+type CheckpointError struct {
+	// Path is the checkpoint file.
+	Path string
+	// Version is the file's format version (0 when undecodable).
+	Version int
+	// Reason says what is wrong.
+	Reason string
+	// Hint says what the operator should do about it.
+	Hint string
+}
+
+// Error renders the versioned, actionable message.
+func (e *CheckpointError) Error() string {
+	return fmt.Sprintf("dispatch: checkpoint %s (format v%d): %s — %s", e.Path, e.Version, e.Reason, e.Hint)
+}
+
+// hintStartFresh is the standard remediation for an unusable checkpoint.
+const hintStartFresh = "delete the checkpoint and spool directory, or rerun without -resume, to start the crawl from scratch"
+
+// hintWrongCrawl is the remediation for a checkpoint from another crawl.
+const hintWrongCrawl = "point -checkpoint/-spool-dir at the original crawl's state, or match the original crawl's flags"
 
 // Checkpoint is the durable progress state of a crawl. It is written
 // atomically (temp file + rename in the same directory), so a crash can
@@ -40,6 +69,12 @@ type Checkpoint struct {
 	Done         []string          `json:"done"`
 	Failed       map[string]string `json:"failed,omitempty"`
 	Attempts     map[string]int    `json:"attempts,omitempty"`
+	// ShardBytes records each spool shard's durable size at checkpoint
+	// time (v2+). On resume every shard must be at least this large
+	// after tail repair; a smaller shard means the spool does not match
+	// the checkpoint (deleted, swapped, or damaged) and resuming would
+	// silently drop the completed sites' pages from the merged dataset.
+	ShardBytes []int64 `json:"shardBytes,omitempty"`
 }
 
 // WriteAtomic persists the checkpoint with temp-file+rename semantics.
@@ -51,7 +86,10 @@ func (c *Checkpoint) WriteAtomic(path string) error {
 	})
 }
 
-// LoadCheckpoint reads a checkpoint file.
+// LoadCheckpoint reads a checkpoint file. Undecodable bytes and
+// unsupported format versions surface as *CheckpointError: both mean a
+// resume cannot be trusted and must fail fast rather than run a crawl
+// that silently drops the checkpointed progress.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -60,28 +98,37 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	defer f.Close()
 	var c Checkpoint
 	if err := json.NewDecoder(f).Decode(&c); err != nil {
-		return nil, fmt.Errorf("dispatch: decode checkpoint %s: %w", path, err)
+		return nil, &CheckpointError{Path: path, Reason: fmt.Sprintf("corrupt checkpoint: %v", err), Hint: hintStartFresh}
 	}
-	if c.Version != CheckpointVersion {
-		return nil, fmt.Errorf("dispatch: checkpoint %s: unsupported version %d", path, c.Version)
+	if c.Version < 1 || c.Version > CheckpointVersion {
+		return nil, &CheckpointError{
+			Path: path, Version: c.Version,
+			Reason: fmt.Sprintf("unsupported format version (this build reads v1..v%d)", CheckpointVersion),
+			Hint:   hintStartFresh,
+		}
 	}
 	return &c, nil
 }
 
 // Compatible verifies that a checkpoint belongs to the crawl being
-// resumed: same identity, seed, shard layout, and page budget.
-func (c *Checkpoint) Compatible(name string, seed int64, numShards, pagesPerSite, totalSites int) error {
+// resumed: same identity, seed, shard layout, and page budget. A
+// mismatch is a *CheckpointError; resuming across one would mix two
+// different crawls' state into one partial dataset.
+func (c *Checkpoint) Compatible(path, name string, seed int64, numShards, pagesPerSite, totalSites int) error {
+	mismatch := func(reason string) error {
+		return &CheckpointError{Path: path, Version: c.Version, Reason: reason, Hint: hintWrongCrawl}
+	}
 	switch {
 	case c.Name != name:
-		return fmt.Errorf("dispatch: checkpoint is for crawl %q, not %q", c.Name, name)
+		return mismatch(fmt.Sprintf("checkpoint is for crawl %q, not %q", c.Name, name))
 	case c.Seed != seed:
-		return fmt.Errorf("dispatch: checkpoint seed %d != configured seed %d", c.Seed, seed)
+		return mismatch(fmt.Sprintf("checkpoint seed %d != configured seed %d", c.Seed, seed))
 	case c.NumShards != numShards:
-		return fmt.Errorf("dispatch: checkpoint has %d spool shards, configured %d", c.NumShards, numShards)
+		return mismatch(fmt.Sprintf("checkpoint has %d spool shards, configured %d", c.NumShards, numShards))
 	case c.PagesPerSite != pagesPerSite:
-		return fmt.Errorf("dispatch: checkpoint page budget %d != configured %d", c.PagesPerSite, pagesPerSite)
+		return mismatch(fmt.Sprintf("checkpoint page budget %d != configured %d", c.PagesPerSite, pagesPerSite))
 	case c.TotalSites != totalSites:
-		return fmt.Errorf("dispatch: checkpoint covers %d sites, configured %d", c.TotalSites, totalSites)
+		return mismatch(fmt.Sprintf("checkpoint covers %d sites, configured %d", c.TotalSites, totalSites))
 	}
 	return nil
 }

@@ -42,7 +42,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 
 func TestCheckpointCompatible(t *testing.T) {
 	cp := &Checkpoint{Name: "x", Seed: 1, NumShards: 8, PagesPerSite: 15, TotalSites: 10}
-	if err := cp.Compatible("x", 1, 8, 15, 10); err != nil {
+	if err := cp.Compatible("cp.json", "x", 1, 8, 15, 10); err != nil {
 		t.Errorf("compatible rejected: %v", err)
 	}
 	for _, tc := range []struct {
@@ -56,7 +56,7 @@ func TestCheckpointCompatible(t *testing.T) {
 		{"x", 1, 8, 5, 10},
 		{"x", 1, 8, 15, 99},
 	} {
-		if err := cp.Compatible(tc.name, tc.seed, tc.shards, tc.pages, tc.total); err == nil {
+		if err := cp.Compatible("cp.json", tc.name, tc.seed, tc.shards, tc.pages, tc.total); err == nil {
 			t.Errorf("mismatch %+v accepted", tc)
 		}
 	}

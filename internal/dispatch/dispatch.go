@@ -164,24 +164,18 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	res := &Result{}
 	resumed := false
+	var cp *Checkpoint
 	if cfg.Resume {
-		cp, err := LoadCheckpoint(cfg.CheckpointPath)
+		loaded, err := LoadCheckpoint(cfg.CheckpointPath)
 		switch {
 		case err == nil:
-			if cerr := cp.Compatible(cfg.Name, cfg.Seed, cfg.NumShards, cfg.PagesPerSite, len(cfg.Sites)); cerr != nil {
+			if cerr := loaded.Compatible(cfg.CheckpointPath, cfg.Name, cfg.Seed, cfg.NumShards, cfg.PagesPerSite, len(cfg.Sites)); cerr != nil {
 				return nil, cerr
 			}
-			for _, dom := range cp.Done {
-				queue.MarkDone(dom)
-			}
-			for dom, msg := range cp.Failed {
-				queue.MarkFailed(dom, msg)
-			}
-			for dom, n := range cp.Attempts {
-				queue.SetAttempts(dom, n)
-			}
-			res.ResumedDone = len(cp.Done)
+			queue.RestoreJobs(loaded.Jobs())
+			res.ResumedDone = len(loaded.Done)
 			resumed = true
+			cp = loaded
 		case isNotExist(err):
 			// Nothing to resume; run from scratch.
 		default:
@@ -194,6 +188,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer spool.Close()
+	if cp != nil {
+		// The checkpoint promises its Done sites' pages are in the
+		// spool; verify before skipping a single site, or a resumed
+		// crawl against the wrong/empty spool would silently produce a
+		// partial dataset.
+		if err := spool.VerifyMinSizes(cp.ShardBytes); err != nil {
+			return nil, &CheckpointError{Path: cfg.CheckpointPath, Version: cp.Version, Reason: err.Error(), Hint: hintStartFresh}
+		}
+	}
 
 	o := &orchestrator{cfg: cfg, queue: queue, spool: spool}
 	stats, crawlErr := crawler.CrawlSource(ctx, o, crawler.Config{
@@ -345,7 +348,6 @@ func (o *orchestrator) writeCheckpoint() error {
 		span.End()
 		obs.CheckpointWrites.Inc()
 	}()
-	done, failed, attempts := o.queue.Snapshot()
 	cp := &Checkpoint{
 		Version:      CheckpointVersion,
 		Name:         o.cfg.Name,
@@ -353,9 +355,12 @@ func (o *orchestrator) writeCheckpoint() error {
 		NumShards:    o.cfg.NumShards,
 		PagesPerSite: o.cfg.PagesPerSite,
 		TotalSites:   len(o.cfg.Sites),
-		Done:         done,
-		Failed:       failed,
-		Attempts:     attempts,
+	}
+	cp.SetJobs(o.queue.ExportJobs())
+	// Record the durable spool extent alongside the progress it vouches
+	// for; resume refuses a spool smaller than this.
+	if sizes, err := o.spool.ShardSizes(); err == nil {
+		cp.ShardBytes = sizes
 	}
 	return cp.WriteAtomic(o.cfg.CheckpointPath)
 }

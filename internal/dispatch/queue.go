@@ -198,6 +198,59 @@ func (q *Queue) Lease(ctx context.Context) (*Lease, bool) {
 	}
 }
 
+// TryStatus is the outcome of a non-blocking lease attempt.
+type TryStatus int
+
+const (
+	// TryGranted: a lease was claimed.
+	TryGranted TryStatus = iota
+	// TryEmpty: nothing is ready right now (leases in flight or
+	// backoffs pending), but the queue is not drained — try again.
+	TryEmpty
+	// TryDrained: every job is terminal; no lease will ever be granted.
+	TryDrained
+)
+
+// TryLease is the non-blocking form of Lease: it reclaims expired
+// leases, claims the next ready job if any, and otherwise reports
+// whether the queue still has work in flight. Network dispatchers use
+// it to interleave lease grants with protocol keepalives instead of
+// parking a goroutine in Lease.
+func (q *Queue) TryLease() (*Lease, TryStatus) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	q.reclaimExpired(now)
+	if j := q.nextReady(now); j != nil {
+		j.state = stateLeased
+		j.attempts++
+		j.expiry = now.Add(q.leaseTTL)
+		q.tokens++
+		j.token = q.tokens
+		return &Lease{q: q, token: j.token, Site: j.site, Attempt: j.attempts}, TryGranted
+	}
+	if q.drainedLocked() {
+		return nil, TryDrained
+	}
+	return nil, TryEmpty
+}
+
+// Reclaim re-queues every expired lease immediately and returns how
+// many were reclaimed. Blocked Lease calls already reclaim as a side
+// effect; a dispatcher with no blocked callers (all its workers died)
+// ticks this instead so orphaned leases still come back.
+func (q *Queue) Reclaim() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	before := q.requeues
+	q.reclaimExpired(q.now())
+	n := int(q.requeues - before)
+	if n > 0 {
+		q.wakeLocked()
+	}
+	return n
+}
+
 // reclaimExpired re-queues every leased site whose TTL has elapsed.
 // The reclaim consumes the dead attempt and is bounded by the same
 // budget as ordinary failures, but the site becomes ready immediately:

@@ -152,6 +152,75 @@ func (s *Spooler) Append(rec *analysis.PageRecord) error {
 	return nil
 }
 
+// AppendRaw durably appends one pre-encoded spool line to domain's
+// shard. The line must be exactly what EncodeSpoolRecord would have
+// produced (a single JSON object, no embedded newlines); a trailing
+// newline is added when missing. This is the fabric coordinator's
+// ingest path: workers encode records once and the coordinator appends
+// the bytes verbatim, so a distributed spool is byte-identical to a
+// locally written one.
+func (s *Spooler) AppendRaw(domain string, line []byte) error {
+	span := obs.StartSpan(obs.StageSpool)
+	sh := s.shards[s.ShardFor(domain)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, err := sh.w.Write(line); err != nil {
+		return err
+	}
+	if len(line) == 0 || line[len(line)-1] != '\n' {
+		if err := sh.w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	if err := sh.w.Flush(); err != nil {
+		return err
+	}
+	span.End()
+	obs.SpoolAppends.Inc()
+	return nil
+}
+
+// ShardSizes returns the current on-disk size of every shard file, in
+// shard order. Sizes are meaningful at line boundaries: every append
+// flushes a whole line under the shard lock, so a size observed between
+// appends is durable-prefix-accurate.
+func (s *Spooler) ShardSizes() ([]int64, error) {
+	out := make([]int64, len(s.shards))
+	for i, path := range s.Paths() {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: stat shard: %w", err)
+		}
+		out[i] = fi.Size()
+	}
+	return out, nil
+}
+
+// VerifyMinSizes checks that every shard holds at least the recorded
+// number of durable bytes (a checkpoint's ShardBytes). Shards only
+// grow, so after tail repair any shard smaller than its recorded size
+// proves the spool no longer matches the checkpoint — resuming would
+// silently drop already-completed pages from the merged dataset.
+func (s *Spooler) VerifyMinSizes(min []int64) error {
+	if len(min) == 0 {
+		return nil // v1 checkpoint: no guard recorded
+	}
+	if len(min) != len(s.shards) {
+		return fmt.Errorf("dispatch: checkpoint recorded %d spool shards, found %d", len(min), len(s.shards))
+	}
+	sizes, err := s.ShardSizes()
+	if err != nil {
+		return err
+	}
+	for i, want := range min {
+		if sizes[i] < want {
+			return fmt.Errorf("dispatch: spool shard %s holds %d bytes, checkpoint recorded %d — spool does not match checkpoint",
+				shardName(i), sizes[i], want)
+		}
+	}
+	return nil
+}
+
 // Close flushes and closes every shard.
 func (s *Spooler) Close() error {
 	var first error

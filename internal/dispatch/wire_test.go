@@ -1,0 +1,126 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/crawler"
+)
+
+// TestJobRecordGoldenJSON pins the wire encoding of JobRecord. A diff
+// here is a wire-format change: the checkpoint format and the fabric
+// protocol both embed these records, so their versions must be bumped
+// in lockstep with any intentional change.
+func TestJobRecordGoldenJSON(t *testing.T) {
+	for _, tc := range []struct {
+		rec    JobRecord
+		golden string
+	}{
+		{
+			JobRecord{Domain: "a.com", Rank: 7, State: JobDone},
+			`{"domain":"a.com","rank":7,"state":"done"}`,
+		},
+		{
+			JobRecord{Domain: "b.com", State: JobFailed, Attempts: 3, LastErr: "boom"},
+			`{"domain":"b.com","state":"failed","attempts":3,"lastErr":"boom"}`,
+		},
+		{
+			JobRecord{Domain: "c.com", State: JobPending, Attempts: 1},
+			`{"domain":"c.com","state":"pending","attempts":1}`,
+		},
+	} {
+		data, err := json.Marshal(tc.rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != tc.golden {
+			t.Errorf("encoding drifted:\n got %s\nwant %s", data, tc.golden)
+		}
+		var back JobRecord
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != tc.rec {
+			t.Errorf("round trip mismatch: %+v != %+v", back, tc.rec)
+		}
+	}
+}
+
+// TestCheckpointGoldenJSON pins the v2 checkpoint encoding end to end.
+func TestCheckpointGoldenJSON(t *testing.T) {
+	cp := &Checkpoint{
+		Version: CheckpointVersion, Name: "crawl-1", Seed: 42,
+		NumShards: 2, PagesPerSite: 5, TotalSites: 3,
+	}
+	cp.SetJobs([]JobRecord{
+		{Domain: "a.com", State: JobDone},
+		{Domain: "b.com", State: JobFailed, Attempts: 3, LastErr: "boom"},
+		{Domain: "c.com", State: JobPending, Attempts: 1},
+	})
+	cp.ShardBytes = []int64{128, 0}
+	data, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := `{"version":2,"name":"crawl-1","seed":42,"numShards":2,"pagesPerSite":5,` +
+		`"totalSites":3,"done":["a.com"],"failed":{"b.com":"boom"},` +
+		`"attempts":{"b.com":3,"c.com":1},"shardBytes":[128,0]}`
+	if string(data) != golden {
+		t.Errorf("encoding drifted:\n got %s\nwant %s", data, golden)
+	}
+	var back Checkpoint
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, cp) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, cp)
+	}
+}
+
+// TestJobsSetJobsInverse proves Jobs and SetJobs are inverses over the
+// states a checkpoint stores.
+func TestJobsSetJobsInverse(t *testing.T) {
+	recs := []JobRecord{
+		{Domain: "a.com", State: JobDone},
+		{Domain: "b.com", State: JobFailed, Attempts: 2, LastErr: "x"},
+		{Domain: "c.com", State: JobPending, Attempts: 1},
+	}
+	var cp Checkpoint
+	cp.SetJobs(recs)
+	got := cp.Jobs()
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("Jobs(SetJobs(recs)) != recs:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+// TestQueueExportRestoreJobs proves a queue round-trips through wire
+// records: export a half-crawled queue, restore into a fresh one, and
+// the visible progress matches. Leased jobs demote to pending (leases
+// die with their process) but keep their attempt counts.
+func TestQueueExportRestoreJobs(t *testing.T) {
+	sites := []crawler.Site{{Domain: "a.com", Rank: 1}, {Domain: "b.com", Rank: 2}, {Domain: "c.com", Rank: 3}, {Domain: "d.com", Rank: 4}}
+	q := NewQueue(sites, QueueConfig{Seed: 1})
+	la, _ := q.TryLease()
+	la.Complete()
+	lb, _ := q.TryLease()
+	lb.Fail(Fatal(errors.New("boom")))
+	if _, st := q.TryLease(); st != TryGranted {
+		t.Fatal("expected a third lease (left leased on purpose)")
+	}
+
+	recs := q.ExportJobs()
+	q2 := NewQueue(sites, QueueConfig{Seed: 1})
+	q2.RestoreJobs(recs)
+	p := q2.Progress()
+	if p.Done != 1 || p.Failed != 1 || p.Pending != 2 || p.Leased != 0 {
+		t.Errorf("restored progress = %+v", p)
+	}
+	// The leased job's attempt survived the round trip.
+	for _, rec := range q2.ExportJobs() {
+		if rec.Domain == "c.com" && rec.Attempts != 1 {
+			t.Errorf("c.com attempts = %d, want 1", rec.Attempts)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The e2e tests prove the acceptance keystone across real processes:
+// wscoordd and wscrawl -worker binaries, real TCP, real kill -9. The
+// same seeds must produce a byte-identical merged dataset for 1, 2,
+// and 4 workers, across a mid-crawl worker kill, across a mid-crawl
+// coordinator kill-and-resume — and identical to the single-process
+// durable path (wscrawl -checkpoint), which ties the fabric to the
+// repo's established determinism contract.
+
+// e2eFlags is the shared crawl geometry; every run below must use the
+// same values or the byte-comparison is meaningless.
+var e2eFlags = []string{
+	"-era", "pre", "-index", "0", "-seed", "7",
+	"-publishers", "18", "-pages", "2",
+}
+
+func buildBinaries(t *testing.T) (coordBin, crawlBin string) {
+	t.Helper()
+	bin := t.TempDir()
+	coordBin = filepath.Join(bin, "wscoordd")
+	crawlBin = filepath.Join(bin, "wscrawl")
+	for path, pkg := range map[string]string{
+		coordBin: "repro/cmd/wscoordd",
+		crawlBin: "repro/cmd/wscrawl",
+	} {
+		out, err := exec.Command("go", "build", "-o", path, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return coordBin, crawlBin
+}
+
+// coordProc wraps a running wscoordd with live stderr scanning.
+type coordProc struct {
+	cmd      *exec.Cmd
+	urlCh    chan string
+	complete chan string // batch-complete log lines as they happen
+	done     chan error
+
+	mu    sync.Mutex
+	lines []string
+}
+
+func (p *coordProc) log(t *testing.T) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return strings.Join(p.lines, "\n")
+}
+
+// startCoord launches wscoordd and scans its stderr for the serving
+// URL and batch-complete events.
+func startCoord(t *testing.T, bin, dir, addr string, resume bool, extra ...string) *coordProc {
+	t.Helper()
+	args := []string{
+		"-out", filepath.Join(dir, "dataset.json"),
+		"-checkpoint", filepath.Join(dir, "checkpoint.json"),
+		"-spool-dir", filepath.Join(dir, "spool"),
+		"-addr", addr,
+		"-batch-size", "3",
+		"-lease-ttl", "2s",
+	}
+	args = append(args, e2eFlags...)
+	if resume {
+		args = append(args, "-resume")
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &coordProc{
+		cmd:      cmd,
+		urlCh:    make(chan string, 1),
+		complete: make(chan string, 256),
+		done:     make(chan error, 1),
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.lines = append(p.lines, line)
+			p.mu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "wscoordd: serving "); ok {
+				select {
+				case p.urlCh <- rest:
+				default:
+				}
+			}
+			if strings.Contains(line, "complete (") {
+				select {
+				case p.complete <- line:
+				default:
+				}
+			}
+		}
+		p.done <- cmd.Wait()
+	}()
+	return p
+}
+
+func (p *coordProc) url(t *testing.T) string {
+	t.Helper()
+	select {
+	case u := <-p.urlCh:
+		return u
+	case err := <-p.done:
+		t.Fatalf("wscoordd exited before serving: %v\n%s", err, p.log(t))
+	case <-time.After(30 * time.Second):
+		t.Fatalf("wscoordd never served\n%s", p.log(t))
+	}
+	return ""
+}
+
+func startWorker(t *testing.T, bin, url, name string, seed int) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-worker", url, "-worker-name", name,
+		"-workers", "4", "-seed", fmt.Sprint(seed))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	return cmd
+}
+
+// runDistributed runs one full distributed crawl with n workers and
+// returns the merged dataset bytes.
+func runDistributed(t *testing.T, coordBin, crawlBin string, n int) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	coord := startCoord(t, coordBin, dir, "127.0.0.1:0", false)
+	url := coord.url(t)
+	workers := make([]*exec.Cmd, n)
+	for i := range workers {
+		workers[i] = startWorker(t, crawlBin, url, fmt.Sprintf("w%d", i), i+1)
+	}
+	select {
+	case err := <-coord.done:
+		if err != nil {
+			t.Fatalf("wscoordd failed: %v\n%s", err, coord.log(t))
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatalf("wscoordd never finished\n%s", coord.log(t))
+	}
+	for i, w := range workers {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "dataset.json"))
+	if err != nil {
+		t.Fatalf("dataset missing: %v\n%s", err, coord.log(t))
+	}
+	return data
+}
+
+func TestE2EDistributedCrawl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e: real-process crawl skipped in -short mode")
+	}
+	coordBin, crawlBin := buildBinaries(t)
+
+	ref := runDistributed(t, coordBin, crawlBin, 1)
+	if len(ref) == 0 {
+		t.Fatal("reference dataset is empty")
+	}
+
+	t.Run("worker counts converge", func(t *testing.T) {
+		for _, n := range []int{2, 4} {
+			if got := runDistributed(t, coordBin, crawlBin, n); !bytes.Equal(got, ref) {
+				t.Errorf("%d-worker dataset differs from 1-worker dataset (%d vs %d bytes)",
+					n, len(got), len(ref))
+			}
+		}
+	})
+
+	t.Run("matches single-process durable path", func(t *testing.T) {
+		dir := t.TempDir()
+		out := filepath.Join(dir, "local.json")
+		args := []string{
+			"-out", out,
+			"-checkpoint", filepath.Join(dir, "checkpoint.json"),
+			"-spool-dir", filepath.Join(dir, "spool"),
+			"-workers", "4",
+		}
+		args = append(args, e2eFlags...)
+		if msg, err := exec.Command(crawlBin, args...).CombinedOutput(); err != nil {
+			t.Fatalf("local wscrawl: %v\n%s", err, msg)
+		}
+		local, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(local, ref) {
+			t.Errorf("distributed dataset differs from the single-process durable dataset (%d vs %d bytes)",
+				len(ref), len(local))
+		}
+	})
+
+	t.Run("worker SIGKILL mid-crawl", func(t *testing.T) {
+		dir := t.TempDir()
+		coord := startCoord(t, coordBin, dir, "127.0.0.1:0", false)
+		url := coord.url(t)
+		victim := startWorker(t, crawlBin, url, "victim", 1)
+		survivor := startWorker(t, crawlBin, url, "survivor", 2)
+		// Kill -9 the victim once the crawl is demonstrably under way.
+		select {
+		case <-coord.complete:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("no batch completed before kill\n%s", coord.log(t))
+		}
+		if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+			t.Fatal(err)
+		}
+		victim.Wait()
+		select {
+		case err := <-coord.done:
+			if err != nil {
+				t.Fatalf("wscoordd failed after worker kill: %v\n%s", err, coord.log(t))
+			}
+		case <-time.After(120 * time.Second):
+			t.Fatalf("crawl never finished after worker kill\n%s", coord.log(t))
+		}
+		if err := survivor.Wait(); err != nil {
+			t.Fatalf("survivor: %v", err)
+		}
+		got, err := os.ReadFile(filepath.Join(dir, "dataset.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, ref) {
+			t.Errorf("dataset after worker kill differs (%d vs %d bytes)", len(got), len(ref))
+		}
+	})
+
+	t.Run("coordinator SIGKILL and resume", func(t *testing.T) {
+		dir := t.TempDir()
+		// Fixed port so the restarted coordinator serves the URL the
+		// worker keeps retrying.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+
+		c1 := startCoord(t, coordBin, dir, addr, false)
+		url := c1.url(t)
+		worker := startWorker(t, crawlBin, url, "w0", 1)
+		select {
+		case <-c1.complete:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("no batch completed before coordinator kill\n%s", c1.log(t))
+		}
+		if err := c1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+			t.Fatal(err)
+		}
+		<-c1.done
+
+		// Restart on the same address with -resume; the worker's dial
+		// retry (default budget: ~25s of backoff) rides the gap out.
+		var c2 *coordProc
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			c2 = startCoord(t, coordBin, dir, addr, true)
+			select {
+			case err := <-c2.done:
+				if time.Now().After(deadline) {
+					t.Fatalf("restarted wscoordd kept failing: %v\n%s", err, c2.log(t))
+				}
+				time.Sleep(100 * time.Millisecond) // port not yet released
+				continue
+			case <-c2.urlCh:
+			}
+			break
+		}
+		if !strings.Contains(c2.log(t), "resumed done") {
+			t.Errorf("restart log missing resume line:\n%s", c2.log(t))
+		}
+		select {
+		case err := <-c2.done:
+			if err != nil {
+				t.Fatalf("resumed wscoordd failed: %v\n%s", err, c2.log(t))
+			}
+		case <-time.After(120 * time.Second):
+			t.Fatalf("resumed crawl never finished\n%s", c2.log(t))
+		}
+		if err := worker.Wait(); err != nil {
+			t.Fatalf("worker did not survive the coordinator restart: %v", err)
+		}
+		got, err := os.ReadFile(filepath.Join(dir, "dataset.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, ref) {
+			t.Errorf("dataset after coordinator kill+resume differs (%d vs %d bytes)", len(got), len(ref))
+		}
+	})
+}

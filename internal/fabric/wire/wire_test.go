@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dispatch"
+)
+
+// TestFrameGoldenEncodings pins the exact bytes of every frame type.
+// These are cross-process compatibility bytes: a coordinator and a
+// worker from different builds meet over them, so any intentional
+// change must bump wire.Version — an accidental one fails here.
+func TestFrameGoldenEncodings(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		msg    Message
+		golden string
+	}{
+		{"hello", &Hello{Worker: "w1"},
+			`{"v":1,"type":"hello","hello":{"worker":"w1"}}`},
+		{"welcome", &Welcome{
+			Crawl: CrawlConfig{
+				Name: "pre-crawl-0", Era: "pre", CrawlIndex: 0, BrowserVersion: 57,
+				Seed: 20170419, NumPublishers: 600, PagesPerSite: 15,
+			},
+			LeaseTTLMillis: 30000,
+		},
+			`{"v":1,"type":"welcome","welcome":{"crawl":{"name":"pre-crawl-0",` +
+				`"era":"pre","crawlIndex":0,"browserVersion":57,"seed":20170419,` +
+				`"numPublishers":600,"pagesPerSite":15},"leaseTtlMillis":30000}}`},
+		{"grant", &Grant{
+			Batch:   Batch{ID: "b0002", Seq: 2, Sites: []Site{{Domain: "a.com", Rank: 1}, {Domain: "b.com", Rank: 2}}},
+			Attempt: 1,
+		},
+			`{"v":1,"type":"grant","grant":{"batch":{"id":"b0002","seq":2,` +
+				`"sites":[{"domain":"a.com","rank":1},{"domain":"b.com","rank":2}]},"attempt":1}}`},
+		{"heartbeat", &Heartbeat{Batch: "b0002"},
+			`{"v":1,"type":"heartbeat","heartbeat":{"batch":"b0002"}}`},
+		{"heartbeat_ack", &HeartbeatAck{Batch: "b0002", Valid: true},
+			`{"v":1,"type":"heartbeat_ack","heartbeatAck":{"batch":"b0002","valid":true}}`},
+		{"page", &Page{Batch: "b0002", Site: "a.com", Line: json.RawMessage(`{"site":"a.com","rank":1,"pageUrl":"http://a.com/"}`)},
+			`{"v":1,"type":"page","page":{"batch":"b0002","site":"a.com",` +
+				`"line":{"site":"a.com","rank":1,"pageUrl":"http://a.com/"}}}`},
+		{"complete", &Complete{Batch: "b0002", Pages: 30, FailedSites: map[string]string{"b.com": "boom"}},
+			`{"v":1,"type":"complete","complete":{"batch":"b0002","pages":30,` +
+				`"failedSites":{"b.com":"boom"}}}`},
+		{"fail", &Fail{Batch: "b0002", Err: "runner exploded"},
+			`{"v":1,"type":"fail","fail":{"batch":"b0002","err":"runner exploded"}}`},
+	} {
+		data, err := Encode(tc.msg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if string(data) != tc.golden {
+			t.Errorf("%s encoding drifted:\n got %s\nwant %s", tc.name, data, tc.golden)
+		}
+		dec, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if dec.Type != tc.msg.frameType() {
+			t.Errorf("%s: decoded type %q", tc.name, dec.Type)
+		}
+		if !reflect.DeepEqual(dec.Msg, tc.msg) {
+			t.Errorf("%s round trip mismatch:\n got %#v\nwant %#v", tc.name, dec.Msg, tc.msg)
+		}
+	}
+}
+
+// TestControlFrameGoldenEncodings pins the payload-free frames.
+func TestControlFrameGoldenEncodings(t *testing.T) {
+	for typ, golden := range map[string]string{
+		TypeLease:   `{"v":1,"type":"lease"}`,
+		TypeWait:    `{"v":1,"type":"wait"}`,
+		TypeDrained: `{"v":1,"type":"drained"}`,
+	} {
+		data, err := EncodeControl(typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != golden {
+			t.Errorf("%s encoding drifted: got %s want %s", typ, data, golden)
+		}
+		dec, err := Decode(data)
+		if err != nil || dec.Type != typ || dec.Msg != nil {
+			t.Errorf("%s decode = %+v, %v", typ, dec, err)
+		}
+	}
+	if _, err := EncodeControl(TypeHello); err == nil {
+		t.Error("hello accepted as control frame")
+	}
+}
+
+// TestDecodeRejectsBadFrames: version, type, and payload validation.
+func TestDecodeRejectsBadFrames(t *testing.T) {
+	for name, raw := range map[string]string{
+		"wrong version":   `{"v":9,"type":"lease"}`,
+		"unknown type":    `{"v":1,"type":"gossip"}`,
+		"missing payload": `{"v":1,"type":"grant"}`,
+		"not json":        `{]`,
+	} {
+		if _, err := Decode([]byte(raw)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestCheckpointGoldenJSON pins the coordinator checkpoint encoding.
+func TestCheckpointGoldenJSON(t *testing.T) {
+	cp := &Checkpoint{
+		Version: CheckpointVersion, Name: "pre-crawl-0", Seed: 42,
+		NumShards: 2, PagesPerSite: 5, BatchSize: 4, TotalBatches: 3, TotalSites: 10,
+		Batches: []dispatch.JobRecord{
+			{Domain: "b0001", State: dispatch.JobDone},
+			{Domain: "b0000", State: dispatch.JobPending, Attempts: 2, LastErr: "lease expired"},
+		},
+		FailedSites: map[string]string{"x.com": "homepage 500"},
+		ShardBytes:  []int64{64, 128},
+	}
+	cp.SortBatches()
+	data, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := `{"version":1,"name":"pre-crawl-0","seed":42,"numShards":2,` +
+		`"pagesPerSite":5,"batchSize":4,"totalBatches":3,"totalSites":10,` +
+		`"batches":[{"domain":"b0000","state":"pending","attempts":2,"lastErr":"lease expired"},` +
+		`{"domain":"b0001","state":"done"}],` +
+		`"failedSites":{"x.com":"homepage 500"},"shardBytes":[64,128]}`
+	if string(data) != golden {
+		t.Errorf("encoding drifted:\n got %s\nwant %s", data, golden)
+	}
+	var back Checkpoint
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, cp) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, cp)
+	}
+}
+
+// TestCheckpointCompatible exercises every mismatch arm.
+func TestCheckpointCompatible(t *testing.T) {
+	cp := &Checkpoint{Version: 1, Name: "x", Seed: 1, NumShards: 8, PagesPerSite: 15, BatchSize: 16, TotalBatches: 4, TotalSites: 50}
+	if err := cp.Compatible("cp.json", "x", 1, 8, 15, 16, 4, 50); err != nil {
+		t.Errorf("compatible rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		err    error
+		expect string
+	}{
+		{"name", cp.Compatible("cp.json", "y", 1, 8, 15, 16, 4, 50), "crawl"},
+		{"seed", cp.Compatible("cp.json", "x", 2, 8, 15, 16, 4, 50), "seed"},
+		{"shards", cp.Compatible("cp.json", "x", 1, 4, 15, 16, 4, 50), "shards"},
+		{"pages", cp.Compatible("cp.json", "x", 1, 8, 5, 16, 4, 50), "budget"},
+		{"batchSize", cp.Compatible("cp.json", "x", 1, 8, 15, 8, 4, 50), "batch size"},
+		{"totalBatches", cp.Compatible("cp.json", "x", 1, 8, 15, 16, 9, 50), "batches"},
+		{"totalSites", cp.Compatible("cp.json", "x", 1, 8, 15, 16, 4, 99), "sites"},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s mismatch accepted", c.name)
+			continue
+		}
+		var ce *dispatch.CheckpointError
+		if !errors.As(c.err, &ce) {
+			t.Errorf("%s: error type %T, want *dispatch.CheckpointError", c.name, c.err)
+		}
+		if !strings.Contains(c.err.Error(), c.expect) {
+			t.Errorf("%s: error %q missing %q", c.name, c.err, c.expect)
+		}
+	}
+}

@@ -10,14 +10,15 @@ import (
 // byte-identical-resume property holds only while these stay free of
 // wall-clock reads and unseeded randomness (DESIGN.md §9).
 var deterministicPackages = map[string]bool{
-	"repro/internal/webgen":    true,
-	"repro/internal/analysis":  true,
-	"repro/internal/labeler":   true,
-	"repro/internal/inclusion": true,
-	"repro/internal/payload":   true,
-	"repro/internal/content":   true,
-	"repro/internal/wsproto":   true,
-	"repro/internal/faultnet":  true,
+	"repro/internal/webgen":      true,
+	"repro/internal/analysis":    true,
+	"repro/internal/labeler":     true,
+	"repro/internal/inclusion":   true,
+	"repro/internal/payload":     true,
+	"repro/internal/content":     true,
+	"repro/internal/wsproto":     true,
+	"repro/internal/faultnet":    true,
+	"repro/internal/fabric/wire": true,
 }
 
 // bannedRandFuncs are the math/rand package-level functions backed by

@@ -78,6 +78,21 @@ const (
 	// MMatchEval times full (cache-miss) filter evaluations.
 	MMatchEval = "match.eval"
 
+	// Fabric dispatcher (internal/fabric). Workers gauges the connected
+	// worker sessions on the coordinator; leases_inflight gauges batch
+	// leases currently held; reclaims counts leases taken back from
+	// dead workers; heartbeats counts lease extensions received;
+	// batches_done counts settled batches; pages_streamed counts page
+	// records ingested off the wire; batch_rtt times a batch from grant
+	// to completion.
+	MFabricWorkers       = "fabric.workers"
+	MFabricLeases        = "fabric.leases_inflight"
+	MFabricReclaims      = "fabric.reclaims"
+	MFabricHeartbeats    = "fabric.heartbeats"
+	MFabricBatchesDone   = "fabric.batches_done"
+	MFabricPagesStreamed = "fabric.pages_streamed"
+	MFabricBatchRTT      = "fabric.batch_rtt"
+
 	// Per-stage latency histograms, in pipeline order.
 	MStageFetch      = "stage.fetch"
 	MStageParse      = "stage.parse"
@@ -131,6 +146,14 @@ var (
 	MatchIndexTokens    = Default.Gauge(MMatchIndexTokens)
 	MatchIndexRest      = Default.Gauge(MMatchIndexRest)
 	MatchEval           = Default.Histogram(MMatchEval)
+
+	FabricWorkers       = Default.Gauge(MFabricWorkers)
+	FabricLeases        = Default.Gauge(MFabricLeases)
+	FabricReclaims      = Default.Counter(MFabricReclaims)
+	FabricHeartbeats    = Default.Counter(MFabricHeartbeats)
+	FabricBatchesDone   = Default.Counter(MFabricBatchesDone)
+	FabricPagesStreamed = Default.Counter(MFabricPagesStreamed)
+	FabricBatchRTT      = Default.Histogram(MFabricBatchRTT)
 
 	StageFetch      = Default.Histogram(MStageFetch)
 	StageParse      = Default.Histogram(MStageParse)
