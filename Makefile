@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos fabric-soak bench-obs bench-match bench-match-smoke bench-fabric bench-fabric-smoke lint fmt-check ci clean
+.PHONY: all build vet test race chaos fabric-soak load-soak bench-obs bench-match bench-match-smoke bench-fabric bench-fabric-smoke bench-ws bench-ws-smoke lint fmt-check ci clean
 
 all: ci
 
@@ -23,6 +23,7 @@ race:
 	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/dispatch/... ./internal/crawler/... ./internal/obs/... ./internal/fabric/...
 	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'Chaos' ./internal/core/
 	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestFabricSoak' ./internal/fabric/
+	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestLoadSoak' ./internal/loadgen/
 
 # Chaos soak (DESIGN.md §11, OPERATIONS.md "Chaos testing"): full-size
 # crawls under every faultnet profile, asserting termination, settled
@@ -67,6 +68,27 @@ bench-fabric:
 bench-fabric-smoke:
 	$(GO) test ./internal/fabric -bench Fabric -benchtime 1x -run '^$$'
 
+# WebSocket serving-plane benchmarks (OPERATIONS.md "Load testing &
+# capacity"): pooled-codec micro-benchmarks (steady-state echo must
+# report 0 allocs/op) plus end-to-end loadgen runs over loopback TCP
+# reporting conns/s, msgs/s, and p99 round-trip latency.
+# BENCH_ws.json records the accepted baseline.
+bench-ws:
+	$(GO) test ./internal/wsproto -bench WS -benchmem -run '^$$'
+	$(GO) test ./internal/loadgen -bench WSLoad -benchmem -run '^$$'
+
+bench-ws-smoke:
+	$(GO) test ./internal/wsproto -bench WS -benchtime 1x -run '^$$'
+	$(GO) test ./internal/loadgen -bench WSLoad -benchtime 1x -run '^$$'
+
+# Load-generator soak (OPERATIONS.md "Load testing & capacity"): the
+# full wsload fleet against an in-process echo server under the slow
+# and stall faultnet profiles, asserting complete echo accounting,
+# zero verify errors, and a leak-free exit. `ci` runs the -short
+# variant via the race target; this target is the full soak.
+load-soak:
+	$(GO) test -count=1 -run 'TestLoadSoak' -v ./internal/loadgen/
+
 # Project-invariant analyzers (determinism, maporder, atomicfield,
 # observeonly, spanclose). Exits non-zero on any unsuppressed finding;
 # see DESIGN.md §9 for the catalogue and the //lint:allow policy.
@@ -77,7 +99,7 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt-check vet build lint test race bench-match-smoke bench-fabric-smoke
+ci: fmt-check vet build lint test race bench-match-smoke bench-fabric-smoke bench-ws-smoke
 
 clean:
 	$(GO) clean ./...

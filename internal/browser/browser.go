@@ -579,6 +579,10 @@ func (l *pageLoad) openWebSocket(frameID devtools.FrameID, op script.Op, init de
 		if err != nil {
 			break
 		}
+		// ReadMessage returns a conn-owned buffer valid only until the
+		// next read; the inclusion tree retains frame payloads for the
+		// Table 5 content analysis, so the event gets its own copy.
+		msg = append([]byte(nil), msg...)
 		l.bus.Emit(devtools.WebSocketFrameReceived{SocketID: sockID, Opcode: int(opcode), Payload: msg})
 		if l.b.cfg.FollowAdRefs {
 			adRefs = append(adRefs, content.ExtractAdRefs(msg)...)

@@ -21,6 +21,18 @@ var deterministicPackages = map[string]bool{
 	"repro/internal/fabric/wire": true,
 }
 
+// seededRandPackages is the weaker tier: packages that measure the
+// wall clock on purpose (latency is their output) but whose *content*
+// must still derive from explicit seeds. The load generator is the
+// archetype — two runs with the same seed must put identical bytes on
+// the wire even though their timing differs — so global math/rand
+// draws are banned here exactly as in the deterministic tier, while
+// time.Now/time.Since stay legal.
+var seededRandPackages = map[string]bool{
+	"repro/internal/loadgen": true,
+	"repro/cmd/wsload":       true,
+}
+
 // bannedRandFuncs are the math/rand package-level functions backed by
 // the process-global, unseeded source. Constructors (New, NewSource)
 // and type references (rand.Rand, rand.Source) stay legal: explicit
@@ -40,11 +52,16 @@ func determinismAnalyzer() *Analyzer {
 		Name: "determinism",
 		Doc:  "forbid wall-clock reads and unseeded randomness in the deterministic packages",
 		Run: func(p *Pass) {
-			if !deterministicPackages[p.Pkg.Path] {
+			deterministic := deterministicPackages[p.Pkg.Path]
+			seededOnly := seededRandPackages[p.Pkg.Path]
+			if !deterministic && !seededOnly {
 				return
 			}
 			for _, f := range p.Pkg.Files {
-				timeName := importName(f, "time")
+				timeName := ""
+				if deterministic {
+					timeName = importName(f, "time")
+				}
 				randName := importName(f, "math/rand")
 				if timeName == "" && randName == "" {
 					continue
@@ -65,9 +82,13 @@ func determinismAnalyzer() *Analyzer {
 							"%s.%s in deterministic package %s; inject a seed or time through an obs span instead",
 							x.Name, sel.Sel.Name, p.Pkg.Path)
 					case randName != "" && x.Name == randName && bannedRandFuncs[sel.Sel.Name]:
+						tier := "deterministic"
+						if !deterministic {
+							tier = "seeded-content"
+						}
 						p.Reportf(sel.Pos(),
-							"global %s.%s in deterministic package %s; draw from an explicitly seeded *rand.Rand",
-							x.Name, sel.Sel.Name, p.Pkg.Path)
+							"global %s.%s in %s package %s; draw from an explicitly seeded *rand.Rand",
+							x.Name, sel.Sel.Name, tier, p.Pkg.Path)
 					}
 					return true
 				})

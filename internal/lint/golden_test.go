@@ -129,6 +129,21 @@ func TestDeterminismScopedToDeterministicPackages(t *testing.T) {
 	}
 }
 
+// TestSeededRandFixture covers the seeded-content tier: wall-clock
+// reads pass, global math/rand draws fail.
+func TestSeededRandFixture(t *testing.T) {
+	runFixture(t, "seededrand", "repro/internal/loadgen", determinismAnalyzer())
+}
+
+// TestSeededRandScoped re-lints the same fixture under a path in
+// neither tier: nothing may fire.
+func TestSeededRandScoped(t *testing.T) {
+	pkg := loadFixture(t, "seededrand", "repro/internal/browser")
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{determinismAnalyzer()}); len(diags) != 0 {
+		t.Fatalf("determinism fired outside both tiers: %v", diags)
+	}
+}
+
 func TestMaporderFixture(t *testing.T) {
 	runFixture(t, "maporder", "repro/internal/fix", maporderAnalyzer())
 }

@@ -1,0 +1,142 @@
+package loadgen
+
+// Message payloads are self-describing and recomputable, so echo
+// verification needs no retained copy of what was sent: a 32-character
+// ASCII-hex header (16 chars of sequence number, 16 chars of send-time
+// unix-nanos) followed by a body generated from an xorshift64 stream
+// keyed by connSeed^seq. The receiver parses the header, regenerates
+// the expected body from the same key, and compares — O(size) work,
+// O(1) memory per connection regardless of how many messages are in
+// flight. The header is plain hex and the text body is printable
+// ASCII, so text frames are always valid UTF-8 (RFC 6455 §8.1).
+
+const headerLen = 32
+
+const hexDigits = "0123456789abcdef"
+
+// appendHex16 appends v as exactly 16 lowercase hex characters.
+func appendHex16(dst []byte, v uint64) []byte {
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hexDigits[(v>>shift)&0xF])
+	}
+	return dst
+}
+
+// parseHex16 parses exactly 16 lowercase hex characters.
+func parseHex16(b []byte) (uint64, bool) {
+	if len(b) != 16 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// xorshift64 is the body stream generator: tiny, allocation-free, and
+// seedable per (conn, seq) so any message's body is recomputable in
+// isolation.
+type xorshift64 uint64
+
+func newBodyStream(connSeed int64, seq uint64) xorshift64 {
+	// Golden-ratio multiply spreads consecutive seqs across the state
+	// space; xorshift has a zero fixed point, so avoid seeding with 0.
+	s := uint64(connSeed) ^ (seq+1)*0x9E3779B97F4A7C15
+	if s == 0 {
+		s = 0x2545F4914F6CDD1D
+	}
+	return xorshift64(s)
+}
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+// isBinary decides the frame type for (connSeed, seq) against the
+// configured binary ratio — a deterministic per-message coin flip, so
+// the verifier knows the expected opcode without bookkeeping.
+func isBinary(connSeed int64, seq uint64, ratio float64) bool {
+	if ratio <= 0 {
+		return false
+	}
+	if ratio >= 1 {
+		return true
+	}
+	s := newBodyStream(connSeed^0x62696E, seq) // distinct key from the body stream
+	return float64(s.next()%1_000_000) < ratio*1_000_000
+}
+
+// appendBody appends size bytes of deterministic body content. Binary
+// bodies are raw stream bytes; text bodies are mapped into printable
+// ASCII (0x20..0x7D) to keep text frames valid UTF-8.
+func appendBody(dst []byte, connSeed int64, seq uint64, size int, binary bool) []byte {
+	s := newBodyStream(connSeed, seq)
+	for size > 0 {
+		v := s.next()
+		n := min(size, 8)
+		for i := 0; i < n; i++ {
+			b := byte(v >> (8 * i))
+			if !binary {
+				b = 0x20 + b%94
+			}
+			dst = append(dst, b)
+		}
+		size -= n
+	}
+	return dst
+}
+
+// buildMessage assembles the full message for (connSeed, seq) into dst:
+// header then body, size bytes total (size must be >= headerLen).
+func buildMessage(dst []byte, connSeed int64, seq uint64, sendNano int64, size int, binary bool) []byte {
+	dst = appendHex16(dst, seq)
+	dst = appendHex16(dst, uint64(sendNano))
+	return appendBody(dst, connSeed, seq, size-headerLen, binary)
+}
+
+// parseHeader extracts the sequence number and send timestamp.
+func parseHeader(msg []byte) (seq uint64, sendNano int64, ok bool) {
+	if len(msg) < headerLen {
+		return 0, 0, false
+	}
+	seq, ok1 := parseHex16(msg[:16])
+	nanos, ok2 := parseHex16(msg[16:32])
+	return seq, int64(nanos), ok1 && ok2
+}
+
+// verifyBody regenerates the expected body for (connSeed, seq) and
+// compares it byte-for-byte against the echoed one, without allocating.
+func verifyBody(body []byte, connSeed int64, seq uint64, binary bool) bool {
+	s := newBodyStream(connSeed, seq)
+	i := 0
+	for i < len(body) {
+		v := s.next()
+		n := min(len(body)-i, 8)
+		for j := 0; j < n; j++ {
+			b := byte(v >> (8 * j))
+			if !binary {
+				b = 0x20 + b%94
+			}
+			if body[i+j] != b {
+				return false
+			}
+		}
+		i += n
+	}
+	return true
+}

@@ -93,6 +93,28 @@ const (
 	MFabricPagesStreamed = "fabric.pages_streamed"
 	MFabricBatchRTT      = "fabric.batch_rtt"
 
+	// WebSocket serving plane (internal/webserver admission control +
+	// echo/endpoint loops; OPERATIONS.md "Load testing & capacity" is
+	// the reading guide). conns_active gauges WebSocket connections
+	// currently being served; conns_total counts every admitted
+	// connection; conns_shed counts upgrades refused 503 by the
+	// MaxConns admission gate; accept_shed counts TCP connections
+	// closed at the listener by the MaxAccepted gate before HTTP ever
+	// saw them; tcp_active gauges TCP connections inside the accept
+	// gate. messages_in/out and bytes_in/out count served WebSocket
+	// traffic in both directions; handshake times the upgrade from
+	// HTTP dispatch to established conn.
+	MWSConnsActive = "ws.conns_active"
+	MWSConnsTotal  = "ws.conns_total"
+	MWSConnsShed   = "ws.conns_shed"
+	MWSAcceptShed  = "ws.accept_shed"
+	MWSTCPActive   = "ws.tcp_active"
+	MWSMessagesIn  = "ws.messages_in"
+	MWSMessagesOut = "ws.messages_out"
+	MWSBytesIn     = "ws.bytes_in"
+	MWSBytesOut    = "ws.bytes_out"
+	MWSHandshake   = "ws.handshake"
+
 	// Per-stage latency histograms, in pipeline order.
 	MStageFetch      = "stage.fetch"
 	MStageParse      = "stage.parse"
@@ -154,6 +176,17 @@ var (
 	FabricBatchesDone   = Default.Counter(MFabricBatchesDone)
 	FabricPagesStreamed = Default.Counter(MFabricPagesStreamed)
 	FabricBatchRTT      = Default.Histogram(MFabricBatchRTT)
+
+	WSConnsActive = Default.Gauge(MWSConnsActive)
+	WSConnsTotal  = Default.Counter(MWSConnsTotal)
+	WSConnsShed   = Default.Counter(MWSConnsShed)
+	WSAcceptShed  = Default.Counter(MWSAcceptShed)
+	WSTCPActive   = Default.Gauge(MWSTCPActive)
+	WSMessagesIn  = Default.Counter(MWSMessagesIn)
+	WSMessagesOut = Default.Counter(MWSMessagesOut)
+	WSBytesIn     = Default.Counter(MWSBytesIn)
+	WSBytesOut    = Default.Counter(MWSBytesOut)
+	WSHandshake   = Default.Histogram(MWSHandshake)
 
 	StageFetch      = Default.Histogram(MStageFetch)
 	StageParse      = Default.Histogram(MStageParse)

@@ -33,8 +33,22 @@ type Stats struct {
 	HTTPRequests   atomic.Int64
 	WSHandshakes   atomic.Int64
 	WSMessagesSent atomic.Int64
+	WSMessagesRecv atomic.Int64
 	NotFound       atomic.Int64
+
+	// WSShed counts upgrade requests refused with 503 by the MaxConns
+	// admission gate; AcceptShed counts TCP connections dropped at the
+	// listener by the MaxAccepted gate.
+	WSShed     atomic.Int64
+	AcceptShed atomic.Int64
 }
+
+// EchoPath is the WebSocket echo endpoint served on any Host when
+// Options.EnableEcho is set. It exists for load generation
+// (cmd/wsload) and capacity testing: every data message is written
+// straight back with its opcode preserved, exercising the full
+// accept → handshake → read → write path with no World behind it.
+const EchoPath = "/__echo"
 
 // Options configures optional server behavior.
 type Options struct {
@@ -50,6 +64,24 @@ type Options struct {
 	// releases its goroutine within one timeout while an active socket
 	// lives forever. Default 30s.
 	IdleTimeout time.Duration
+
+	// MaxConns caps concurrently served WebSocket connections. Upgrade
+	// requests beyond the cap are refused with 503 ("server
+	// overloaded") and counted in Stats.WSShed / ws.conns_shed, so a
+	// load spike degrades into fast, observable rejections instead of
+	// unbounded goroutine growth. 0 means unlimited.
+	MaxConns int
+
+	// MaxAccepted caps concurrently open TCP connections at the
+	// listener. Connections beyond the cap are closed immediately after
+	// accept — before HTTP parsing — and counted in Stats.AcceptShed /
+	// ws.accept_shed. 0 means unlimited.
+	MaxAccepted int
+
+	// EnableEcho serves EchoPath on every virtual host (and, when World
+	// is nil, as the only endpoint). Off by default: the echo endpoint
+	// is a load-testing surface, not part of the synthetic web.
+	EnableEcho bool
 }
 
 // Server serves one World.
@@ -57,18 +89,21 @@ type Server struct {
 	World *webgen.World
 	Stats Stats
 
-	opts   Options
-	ln     net.Listener
-	srv    *http.Server
-	mu     sync.Mutex
-	socks  map[*wsproto.Conn]struct{}
-	closed bool
+	opts     Options
+	ln       net.Listener
+	srv      *http.Server
+	mu       sync.Mutex
+	socks    map[*wsproto.Conn]struct{}
+	wsActive int
+	closed   bool
 }
 
 // Start launches the server on an ephemeral loopback port.
 func Start(w *webgen.World) (*Server, error) { return StartWith(w, Options{}) }
 
-// StartWith launches the server with explicit options.
+// StartWith launches the server with explicit options. A nil World is
+// allowed when EnableEcho is set: the server then serves only the echo
+// endpoint, which is how cmd/wsload self-serves a pure echo target.
 func StartWith(w *webgen.World, opts Options) (*Server, error) {
 	if opts.IdleTimeout == 0 {
 		opts.IdleTimeout = 30 * time.Second
@@ -81,9 +116,12 @@ func StartWith(w *webgen.World, opts Options) (*Server, error) {
 	s := &Server{
 		World: w,
 		opts:  opts,
-		ln:    ln,
 		socks: map[*wsproto.Conn]struct{}{},
 	}
+	// Accept gate outermost: shed decisions happen before fault
+	// injection spends any budget on the doomed connection.
+	ln = gateListener(ln, opts.MaxAccepted, &s.Stats)
+	s.ln = ln
 	s.srv = &http.Server{
 		Handler:           http.HandlerFunc(s.handle),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -130,7 +168,15 @@ func isUpgrade(r *http.Request) bool {
 
 func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	host := hostOnly(r.Host)
-	if !s.World.KnownHost(host) {
+	if s.opts.EnableEcho && r.URL.Path == EchoPath {
+		if !isUpgrade(r) {
+			http.Error(w, "websocket upgrade required", http.StatusUpgradeRequired)
+			return
+		}
+		s.handleEcho(w, r)
+		return
+	}
+	if s.World == nil || !s.World.KnownHost(host) {
 		s.Stats.NotFound.Add(1)
 		http.Error(w, "unknown virtual host", http.StatusBadGateway)
 		return
@@ -168,14 +214,70 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request, host string) {
 		return
 	}
 	query := r.URL.RawQuery
-	conn, err := wsproto.Upgrade(w, r)
-	if err != nil {
+	conn, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
-	s.Stats.WSHandshakes.Add(1)
-	obs.ServerHandshakes.Inc()
 	s.track(conn)
 	go s.serveSocket(conn, ep, query)
+}
+
+// handleEcho upgrades and serves the echo endpoint, under the same
+// admission gate as World endpoints.
+func (s *Server) handleEcho(w http.ResponseWriter, r *http.Request) {
+	conn, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	s.track(conn)
+	go s.echoLoop(conn)
+}
+
+// admit runs the MaxConns admission gate and, if a slot is free,
+// completes the WebSocket upgrade. On success the caller owns one
+// admission slot, released by untrack when the serve loop exits.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (*wsproto.Conn, bool) {
+	start := time.Now()
+	if !s.tryReserve() {
+		s.Stats.WSShed.Add(1)
+		obs.WSConnsShed.Inc()
+		http.Error(w, "server overloaded", http.StatusServiceUnavailable)
+		return nil, false
+	}
+	conn, err := wsproto.Upgrade(w, r)
+	if err != nil {
+		s.release()
+		return nil, false
+	}
+	obs.WSHandshake.ObserveSince(start)
+	s.Stats.WSHandshakes.Add(1)
+	obs.ServerHandshakes.Inc()
+	obs.WSConnsTotal.Inc()
+	return conn, true
+}
+
+// tryReserve claims one MaxConns admission slot.
+func (s *Server) tryReserve() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.opts.MaxConns > 0 && s.wsActive >= s.opts.MaxConns {
+		return false
+	}
+	s.wsActive++
+	obs.WSConnsActive.Add(1)
+	return true
+}
+
+// release returns an admission slot claimed by tryReserve, for paths
+// where the conn never reached its serve loop (failed upgrades).
+func (s *Server) release() {
+	s.mu.Lock()
+	s.wsActive--
+	s.mu.Unlock()
+	obs.WSConnsActive.Add(-1)
 }
 
 func (s *Server) track(c *wsproto.Conn) {
@@ -188,10 +290,15 @@ func (s *Server) track(c *wsproto.Conn) {
 	s.socks[c] = struct{}{}
 }
 
+// untrack forgets a served conn and returns its admission slot. Every
+// admitted conn's serve loop defers exactly one untrack, so the slot
+// accounting balances even when track found the server already closed.
 func (s *Server) untrack(c *wsproto.Conn) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.socks, c)
+	s.wsActive--
+	s.mu.Unlock()
+	obs.WSConnsActive.Add(-1)
 }
 
 // serveSocket implements the endpoint protocol: push the deterministic
@@ -215,13 +322,48 @@ func (s *Server) serveSocket(conn *wsproto.Conn, ep *webgen.WSEndpoint, query st
 		}
 		s.Stats.WSMessagesSent.Add(1)
 		obs.ServerMessages.Inc()
+		obs.WSMessagesOut.Inc()
+		obs.WSBytesOut.Add(int64(len(msg)))
 	}
 	_ = conn.SetWriteDeadline(time.Time{})
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(idle))
-		if _, _, err := conn.ReadMessage(); err != nil {
+		_, msg, err := conn.ReadMessage()
+		if err != nil {
 			return
 		}
+		s.Stats.WSMessagesRecv.Add(1)
+		obs.WSMessagesIn.Inc()
+		obs.WSBytesIn.Add(int64(len(msg)))
+	}
+}
+
+// echoLoop serves EchoPath: each data message is written straight back
+// with its opcode preserved, under per-message idle deadlines.
+func (s *Server) echoLoop(conn *wsproto.Conn) {
+	defer s.untrack(conn)
+	defer conn.Close()
+	idle := s.opts.IdleTimeout
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(idle))
+		op, msg, err := conn.ReadMessage()
+		if err != nil {
+			return
+		}
+		s.Stats.WSMessagesRecv.Add(1)
+		obs.WSMessagesIn.Inc()
+		obs.WSBytesIn.Add(int64(len(msg)))
+		// msg aliases the conn's read scratch (wsproto ownership rule),
+		// but WriteMessage finishes with the bytes before returning and
+		// the next read starts after it, so echoing needs no copy.
+		_ = conn.SetWriteDeadline(time.Now().Add(idle))
+		if err := conn.WriteMessage(op, msg); err != nil {
+			return
+		}
+		s.Stats.WSMessagesSent.Add(1)
+		obs.ServerMessages.Inc()
+		obs.WSMessagesOut.Inc()
+		obs.WSBytesOut.Add(int64(len(msg)))
 	}
 }
 
@@ -230,7 +372,7 @@ func (s *Server) serveSocket(conn *wsproto.Conn, ep *webgen.WSEndpoint, query st
 func (s *Server) Resolver() func(hostport string) string {
 	addr := s.Addr()
 	return func(hostport string) string {
-		if s.World.KnownHost(hostOnly(hostport)) {
+		if s.World != nil && s.World.KnownHost(hostOnly(hostport)) {
 			return addr
 		}
 		return hostport

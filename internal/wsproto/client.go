@@ -91,8 +91,13 @@ func (d *Dialer) Dial(ctx context.Context, rawURL string) (*Conn, http.Header, e
 		_ = nc.SetDeadline(handshakeDeadline())
 	}
 	key := GenerateKey(rng)
-	bw := bufio.NewWriter(nc)
-	if err := writeClientHandshake(bw, u, key, d.Header); err != nil {
+	// The handshake writer is pooled: it is needed only until the
+	// request bytes are flushed, unlike the conn's reader, which lives
+	// for the connection's lifetime (see pool.go).
+	bw := getHandshakeWriter(nc)
+	err = writeClientHandshake(bw, u, key, d.Header)
+	putHandshakeWriter(bw)
+	if err != nil {
 		nc.Close()
 		return nil, nil, fmt.Errorf("wsproto: send handshake: %w", err)
 	}

@@ -2,8 +2,10 @@ package wsproto
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -59,13 +61,27 @@ type Conn struct {
 
 	writeMu sync.Mutex
 	closed  bool
+	// wbuf is the write-path scratch (header + masked/coalesced
+	// payload), guarded by writeMu and reused across frames so the
+	// steady-state write path performs zero allocations.
+	wbuf []byte
 
 	readMu     sync.Mutex
 	maxMsgSize int64
+	// msgBuf is the read-path scratch messages are assembled into and
+	// returned from; guarded by readMu, reused across messages. The
+	// slice handed out by ReadMessage aliases it (see the ownership
+	// rule on ReadMessage).
+	msgBuf []byte
+	// ctrl receives control-frame payloads (≤ 125 bytes) so pings
+	// interleaved with fragmented messages never touch msgBuf.
+	ctrl [maxControlPayload]byte
+	// rhdr is the frame-header read scratch.
+	rhdr [8]byte
 
-	// fragOpcode/fragBuf hold an in-progress fragmented message.
+	// fragOpcode/inFrag track an in-progress fragmented message.
 	fragOpcode Opcode
-	fragBuf    []byte
+	inFrag     bool
 
 	// closeSent records that we already emitted a close frame.
 	closeSentMu sync.Mutex
@@ -174,6 +190,13 @@ func (c *Conn) Pong(payload []byte) error {
 	return c.writeFrame(&Frame{FIN: true, Opcode: OpPong, Payload: payload})
 }
 
+// writeFrame encodes and sends one frame. The wire bytes are built in
+// the conn's reused write scratch: masking copies into it instead of a
+// fresh slice, and header + payload leave in a single Write (write
+// coalescing) except for large unmasked payloads, which are written
+// directly after the header to skip the copy. Steady-state writes
+// perform zero allocations; the bytes produced are identical to the
+// package-level WriteFrame reference codec (conformance-tested).
 func (c *Conn) writeFrame(f *Frame) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
@@ -184,85 +207,196 @@ func (c *Conn) writeFrame(f *Frame) error {
 		f.Masked = true
 		c.rng.Read(f.MaskKey[:])
 	}
-	return WriteFrame(c.conn, f)
+	if err := validateFrame(f); err != nil {
+		return err
+	}
+	buf := appendFrameHeader(c.wbuf[:0], f)
+	direct := !f.Masked && len(f.Payload) > coalesceLimit
+	if f.Masked {
+		buf = appendMasked(buf, f.MaskKey, f.Payload)
+	} else if !direct {
+		buf = append(buf, f.Payload...)
+	}
+	c.wbuf = buf
+	_, err := c.conn.Write(buf)
+	if err == nil && direct {
+		_, err = c.conn.Write(f.Payload)
+	}
+	c.wbuf = shrink(c.wbuf)
+	if err != nil {
+		return fmt.Errorf("wsproto: write frame: %w", err)
+	}
+	return nil
+}
+
+// readHeader reads and validates one frame header: FIN flag, opcode,
+// masking bit + key, and the (minimally encoded) payload length. The
+// payload itself is left unread for the caller to place.
+func (c *Conn) readHeader() (fin bool, op Opcode, plen int64, masked bool, key [4]byte, err error) {
+	if _, err = io.ReadFull(c.br, c.rhdr[:2]); err != nil {
+		return
+	}
+	b0, b1 := c.rhdr[0], c.rhdr[1]
+	fin = b0&0x80 != 0
+	op = Opcode(b0 & 0x0F)
+	masked = b1&0x80 != 0
+	if b0&0x70 != 0 {
+		err = ErrReservedBits
+		return
+	}
+	if !validOpcode(op) {
+		err = ErrInvalidOpcode
+		return
+	}
+	plen = int64(b1 & 0x7F)
+	switch plen {
+	case 126:
+		if _, err = io.ReadFull(c.br, c.rhdr[:2]); err != nil {
+			return
+		}
+		plen = int64(binary.BigEndian.Uint16(c.rhdr[:2]))
+		if plen < 126 {
+			err = ErrBadPayloadLength
+			return
+		}
+	case 127:
+		if _, err = io.ReadFull(c.br, c.rhdr[:8]); err != nil {
+			return
+		}
+		v := binary.BigEndian.Uint64(c.rhdr[:8])
+		if v&(1<<63) != 0 || v <= 0xFFFF {
+			err = ErrBadPayloadLength
+			return
+		}
+		plen = int64(v)
+	}
+	if op.IsControl() {
+		if plen > maxControlPayload {
+			err = ErrControlTooLong
+			return
+		}
+		if !fin {
+			err = ErrControlFragmented
+			return
+		}
+	}
+	if masked {
+		if _, err = io.ReadFull(c.br, c.rhdr[:4]); err != nil {
+			return
+		}
+		copy(key[:], c.rhdr[:4])
+	}
+	return
 }
 
 // ReadMessage reads the next complete data message, assembling fragments
 // and transparently handling control frames (pings are answered with
 // pongs; a close frame completes the closing handshake and surfaces a
 // *CloseError).
+//
+// Buffer ownership: the returned payload aliases a buffer owned by the
+// connection and is valid only until the next read or close call on
+// this Conn. Callers that retain the bytes past that point must copy
+// them first (DESIGN.md §13 documents the rule). This is what makes the
+// steady-state read path allocation-free.
 func (c *Conn) ReadMessage() (Opcode, []byte, error) {
 	c.readMu.Lock()
 	defer c.readMu.Unlock()
+	// Entering a new read invalidates the previously returned message.
+	c.msgBuf = shrink(c.msgBuf)
+	c.inFrag = false
 	for {
-		f, err := ReadFrame(c.br, c.maxMsgSize)
+		fin, op, plen, masked, key, err := c.readHeader()
 		if err != nil {
 			return 0, nil, err
 		}
 		// Enforce masking direction (RFC 6455 §5.1).
-		if c.isClient && f.Masked {
+		if c.isClient && masked {
 			c.failConn(CloseProtocolError)
 			return 0, nil, ErrMaskedServer
 		}
-		if !c.isClient && !f.Masked {
+		if !c.isClient && !masked {
 			c.failConn(CloseProtocolError)
 			return 0, nil, ErrUnmaskedClient
 		}
-		if f.Opcode.IsControl() {
-			if done, err := c.handleControl(f); done || err != nil {
+		if op.IsControl() {
+			// Control payloads land in their own scratch so a ping
+			// interleaved with a fragmented message cannot disturb the
+			// partially assembled payload in msgBuf.
+			p := c.ctrl[:plen]
+			if _, err := io.ReadFull(c.br, p); err != nil {
+				return 0, nil, err
+			}
+			if masked {
+				maskBytes(key, 0, p)
+			}
+			if done, err := c.handleControl(op, p); done || err != nil {
 				return 0, nil, err
 			}
 			continue
 		}
-		if f.Opcode == OpContinuation {
-			if c.fragBuf == nil {
+		if op == OpContinuation {
+			if !c.inFrag {
 				c.failConn(CloseProtocolError)
 				return 0, nil, ErrUnexpectedContinue
 			}
-		} else if c.fragBuf != nil {
+		} else if c.inFrag {
 			c.failConn(CloseProtocolError)
 			return 0, nil, ErrExpectedContinue
 		} else {
-			c.fragOpcode = f.Opcode
-			c.fragBuf = []byte{}
+			c.fragOpcode = op
+			c.inFrag = true
 		}
-		if c.maxMsgSize > 0 && int64(len(c.fragBuf)+len(f.Payload)) > c.maxMsgSize {
+		if c.maxMsgSize > 0 && int64(len(c.msgBuf))+plen > c.maxMsgSize {
 			c.failConn(CloseMessageTooBig)
 			return 0, nil, ErrFrameTooLarge
 		}
-		c.fragBuf = append(c.fragBuf, f.Payload...)
-		if !f.FIN {
+		if plen > 0 {
+			off := len(c.msgBuf)
+			c.msgBuf = grow(c.msgBuf, int(plen))[:off+int(plen)]
+			seg := c.msgBuf[off:]
+			if _, err := io.ReadFull(c.br, seg); err != nil {
+				return 0, nil, err
+			}
+			if masked {
+				maskBytes(key, 0, seg)
+			}
+		}
+		if !fin {
 			continue
 		}
-		op, msg := c.fragOpcode, c.fragBuf
-		c.fragOpcode, c.fragBuf = 0, nil
-		if op == OpText && !utf8.Valid(msg) {
+		c.inFrag = false
+		msgOp := c.fragOpcode
+		if msgOp == OpText && !utf8.Valid(c.msgBuf) {
 			c.failConn(CloseInvalidPayload)
 			return 0, nil, ErrInvalidUTF8
 		}
-		return op, msg, nil
+		return msgOp, c.msgBuf, nil
 	}
 }
 
 // handleControl processes a control frame. It returns done=true when the
-// frame was a close frame (err carries the *CloseError).
-func (c *Conn) handleControl(f *Frame) (done bool, err error) {
-	switch f.Opcode {
+// frame was a close frame (err carries the *CloseError). The payload
+// slice aliases the conn's control scratch: handlers that retain it
+// must copy.
+func (c *Conn) handleControl(op Opcode, payload []byte) (done bool, err error) {
+	switch op {
 	case OpPing:
 		// Best-effort pong; a write failure will surface on the next
-		// explicit operation.
-		_ = c.writeFrame(&Frame{FIN: true, Opcode: OpPong, Payload: f.Payload})
+		// explicit operation. writeFrame copies the payload into the
+		// write scratch before the control buffer is reused.
+		_ = c.writeFrame(&Frame{FIN: true, Opcode: OpPong, Payload: payload})
 		if c.PingHandler != nil {
-			c.PingHandler(f.Payload)
+			c.PingHandler(payload)
 		}
 		return false, nil
 	case OpPong:
 		if c.PongHandler != nil {
-			c.PongHandler(f.Payload)
+			c.PongHandler(payload)
 		}
 		return false, nil
 	case OpClose:
-		code, reason, perr := parseClosePayload(f.Payload)
+		code, reason, perr := parseClosePayload(payload)
 		if perr != nil {
 			c.failConn(CloseProtocolError)
 			return true, perr
@@ -320,5 +454,8 @@ func (c *Conn) shutdown() error {
 		return nil
 	}
 	c.closed = true
+	// Release the write scratch eagerly; msgBuf stays with the reader,
+	// which may still be unwinding from a blocked read.
+	c.wbuf = nil
 	return c.conn.Close()
 }

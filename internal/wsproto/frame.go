@@ -129,9 +129,9 @@ type Frame struct {
 // maxControlPayload is the RFC 6455 limit for control frame payloads.
 const maxControlPayload = 125
 
-// WriteFrame encodes f to w. The payload is masked on the wire when
-// f.Masked is set; f.Payload itself is not modified.
-func WriteFrame(w io.Writer, f *Frame) error {
+// validateFrame applies the opcode and control-frame rules shared by
+// every encoder.
+func validateFrame(f *Frame) error {
 	if !validOpcode(f.Opcode) {
 		return ErrInvalidOpcode
 	}
@@ -143,46 +143,72 @@ func WriteFrame(w io.Writer, f *Frame) error {
 			return ErrControlFragmented
 		}
 	}
-	var hdr [14]byte
-	n := 0
+	return nil
+}
+
+// appendFrameHeader appends the encoded frame header for f to dst.
+func appendFrameHeader(dst []byte, f *Frame) []byte {
 	b0 := byte(f.Opcode)
 	if f.FIN {
 		b0 |= 0x80
 	}
-	hdr[0] = b0
-	n = 2
+	var b1 byte
+	if f.Masked {
+		b1 = 0x80
+	}
 	plen := len(f.Payload)
 	switch {
 	case plen <= 125:
-		hdr[1] = byte(plen)
+		dst = append(dst, b0, b1|byte(plen))
 	case plen <= 0xFFFF:
-		hdr[1] = 126
-		binary.BigEndian.PutUint16(hdr[2:4], uint16(plen))
-		n = 4
+		dst = append(dst, b0, b1|126, byte(plen>>8), byte(plen))
 	default:
-		hdr[1] = 127
-		binary.BigEndian.PutUint64(hdr[2:10], uint64(plen))
-		n = 10
+		dst = append(dst, b0, b1|127)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(plen))
 	}
 	if f.Masked {
-		hdr[1] |= 0x80
-		copy(hdr[n:n+4], f.MaskKey[:])
-		n += 4
+		dst = append(dst, f.MaskKey[0], f.MaskKey[1], f.MaskKey[2], f.MaskKey[3])
 	}
-	if _, err := w.Write(hdr[:n]); err != nil {
-		return fmt.Errorf("wsproto: write frame header: %w", err)
+	return dst
+}
+
+// appendMasked appends payload XOR'd with key to dst.
+func appendMasked(dst []byte, key [4]byte, payload []byte) []byte {
+	off := len(dst)
+	dst = append(dst, payload...)
+	maskBytes(key, 0, dst[off:])
+	return dst
+}
+
+// WriteFrame encodes f to w. The payload is masked on the wire when
+// f.Masked is set; f.Payload itself is not modified. The mask copy is
+// drawn from an internal pool, so steady-state writes do not allocate;
+// Conn's write path adds write coalescing on top (see conn.go).
+func WriteFrame(w io.Writer, f *Frame) error {
+	if err := validateFrame(f); err != nil {
+		return err
 	}
-	payload := f.Payload
-	if f.Masked && plen > 0 {
-		masked := make([]byte, plen)
-		copy(masked, payload)
-		maskBytes(f.MaskKey, 0, masked)
-		payload = masked
-	}
-	if plen > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return fmt.Errorf("wsproto: write frame payload: %w", err)
+	pooled := maskBufPool.Get().(*[]byte)
+	buf := appendFrameHeader((*pooled)[:0], f)
+	var err error
+	if f.Masked {
+		// Masking must copy anyway, so the masked payload rides in the
+		// same buffer as the header: one Write for the whole frame.
+		buf = appendMasked(buf, f.MaskKey, f.Payload)
+		_, err = w.Write(buf)
+	} else {
+		if _, err = w.Write(buf); err == nil && len(f.Payload) > 0 {
+			if _, err = w.Write(f.Payload); err != nil {
+				*pooled = shrink(buf)
+				maskBufPool.Put(pooled)
+				return fmt.Errorf("wsproto: write frame payload: %w", err)
+			}
 		}
+	}
+	*pooled = shrink(buf)
+	maskBufPool.Put(pooled)
+	if err != nil {
+		return fmt.Errorf("wsproto: write frame header: %w", err)
 	}
 	return nil
 }

@@ -43,8 +43,11 @@ func Accept(nc net.Conn, selectProtocol func(offered []string) string) (*Conn, *
 	if selectProtocol != nil {
 		sub = selectProtocol(hs.Protocols)
 	}
-	bw := bufio.NewWriter(nc)
-	if err := writeServerHandshake(bw, hs.Key, sub); err != nil {
+	// Pooled handshake writer: borrowed for the response flush only.
+	bw := getHandshakeWriter(nc)
+	err = writeServerHandshake(bw, hs.Key, sub)
+	putHandshakeWriter(bw)
+	if err != nil {
 		nc.Close()
 		return nil, nil, fmt.Errorf("wsproto: send handshake response: %w", err)
 	}
