@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos fabric-soak load-soak bench-obs bench-match bench-match-smoke bench-fabric bench-fabric-smoke bench-ws bench-ws-smoke lint fmt-check ci clean
+.PHONY: all build vet test race chaos fabric-soak load-soak bench-obs bench-match bench-match-smoke bench-fabric bench-fabric-smoke bench-ws bench-ws-smoke bench-lint bench-lint-smoke lint fmt-check ci clean
 
 all: ci
 
@@ -89,17 +89,32 @@ bench-ws-smoke:
 load-soak:
 	$(GO) test -count=1 -run 'TestLoadSoak' -v ./internal/loadgen/
 
-# Project-invariant analyzers (determinism, maporder, atomicfield,
-# observeonly, spanclose). Exits non-zero on any unsuppressed finding;
-# see DESIGN.md §9 for the catalogue and the //lint:allow policy.
+# Project-invariant analyzers, syntax tier (determinism, maporder,
+# atomicfield, observeonly, spanclose) plus the typed tier (bufown,
+# poolpair, deadline, lockguard), which type-checks the module from
+# source. Exits non-zero on any unsuppressed finding; see DESIGN.md §9
+# for the catalogue and the //lint:allow policy. The run is timed so a
+# type-check regression shows up in CI logs before it hurts.
 lint:
-	$(GO) run ./cmd/wslint ./...
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/wslint ./... || exit $$?; \
+	end=$$(date +%s); \
+	echo "lint: clean in $$((end - start))s"
+
+# One-iteration lint benchmark: proves the typed loader still
+# type-checks the whole module and pins wall time (BENCH_lint.json
+# records the accepted baseline; see bench-lint for full runs).
+bench-lint:
+	$(GO) test ./internal/lint -bench Lint -benchmem -run '^$$'
+
+bench-lint-smoke:
+	$(GO) test ./internal/lint -bench Lint -benchtime 1x -run '^$$'
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt-check vet build lint test race bench-match-smoke bench-fabric-smoke bench-ws-smoke
+ci: fmt-check vet build lint test race bench-match-smoke bench-fabric-smoke bench-ws-smoke bench-lint-smoke
 
 clean:
 	$(GO) clean ./...

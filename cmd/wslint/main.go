@@ -1,15 +1,24 @@
 // Command wslint runs the repo's static-analysis suite (internal/lint)
 // over the module and exits non-zero on findings. It is the mechanical
 // guard for the invariants behind the reproduction's headline claims:
-// deterministic packages stay seeded, shared counters stay atomic, and
-// instrumentation stays observe-only (DESIGN.md §9).
+// deterministic packages stay seeded, shared counters stay atomic,
+// instrumentation stays observe-only, and the serving plane's pooled
+// buffers, deadlines, and lock annotations hold (DESIGN.md §9). The
+// module is loaded through the typed tier; packages that fail to parse
+// or type-check surface as "load" diagnostics and are linted by the
+// syntax tier only.
 //
 // Usage:
 //
-//	wslint [-json] [-analyzers] [pattern ...]
+//	wslint [-json] [-list] [pattern ...]
 //
 // Patterns are module-relative: "./..." (or none) lints everything;
 // "./internal/webgen" lints one directory; "./internal/..." a subtree.
+// -json emits a stable object: {"diagnostics": [...], "suppressed":
+// {analyzer: count}}, diagnostics sorted by file/line/col/analyzer
+// across packages and every registered analyzer present in suppressed
+// (zero included). -list (alias -analyzers) prints the registered
+// analyzers with their one-line docs.
 // Exit status: 0 clean, 1 findings, 2 operational error.
 package main
 
@@ -24,9 +33,17 @@ import (
 	"repro/internal/lint"
 )
 
+// jsonReport is the stable -json schema: diagnostics sorted by
+// position, plus the per-analyzer pragma-suppression counts.
+type jsonReport struct {
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	Suppressed  map[string]int    `json:"suppressed"`
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
-	listAnalyzers := flag.Bool("analyzers", false, "list the analyzer suite and exit")
+	jsonOut := flag.Bool("json", false, "emit a JSON object: diagnostics plus per-analyzer suppressed counts")
+	listAnalyzers := flag.Bool("list", false, "list the analyzer suite with one-line docs and exit")
+	flag.BoolVar(listAnalyzers, "analyzers", false, "alias for -list")
 	flag.Parse()
 
 	analyzers := lint.Suite()
@@ -41,7 +58,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, err := lint.LoadModule(root)
+	pkgs, err := lint.LoadModuleTyped(root)
 	if err != nil {
 		fatal(err)
 	}
@@ -50,14 +67,15 @@ func main() {
 		fatal(err)
 	}
 
-	diags := lint.RunAnalyzers(pkgs, analyzers)
+	res := lint.Run(pkgs, analyzers)
+	diags := res.Diagnostics
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(jsonReport{Diagnostics: diags, Suppressed: res.Suppressed}); err != nil {
 			fatal(err)
 		}
 	} else {

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -18,13 +19,23 @@ type atomicRegistry map[string]map[string]bool
 // This is the crawler.Stats class of race: workers atomically increment
 // shared counters while an observer reads them plainly. Accesses
 // through value copies (a Stats returned by Snapshot or by a completed
-// Crawl) are private and stay legal — the analyzer only flags bases it
-// can resolve to a *pointer* of the owning type.
+// Crawl) are private and stay legal — the analyzer only flags accesses
+// that dereference a pointer to reach the field.
+//
+// Under the typed tier the registry and the accesses are resolved with
+// go/types (exact field objects, no name collisions, pointer-ness from
+// Selection.Indirect). The syntax path, with its documented
+// ambiguous-field-name carve-out, remains only as the fallback for
+// packages that did not type-check.
 func atomicfieldAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "atomicfield",
 		Doc:  "forbid plain access to fields that are accessed atomically elsewhere",
 		Run: func(p *Pass) {
+			if p.Pkg.Typed() {
+				runAtomicFieldTyped(p)
+				return
+			}
 			reg, ok := p.Cache["atomicfield"].(atomicRegistry)
 			if !ok {
 				reg = buildAtomicRegistry(p.All)
@@ -42,6 +53,173 @@ func atomicfieldAnalyzer() *Analyzer {
 			}
 		},
 	}
+}
+
+// typedAtomicRegistry maps each atomically-accessed field object to
+// its owning named type.
+type typedAtomicRegistry map[*types.Var]*types.Named
+
+// buildTypedAtomicRegistry scans every typed package for
+// atomic.F(&base.Field, ...) calls, resolving the field to its exact
+// object — no ambiguity, so no dropped field names.
+func buildTypedAtomicRegistry(pkgs []*Package) typedAtomicRegistry {
+	reg := typedAtomicRegistry{}
+	for _, pkg := range pkgs {
+		if !pkg.Typed() {
+			continue
+		}
+		info := pkg.TypesInfo
+		for _, f := range pkg.Files {
+			for _, fn := range funcDecls(f) {
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if !funcIn(calleeFunc(info, call), "sync/atomic") || len(call.Args) == 0 {
+						return true
+					}
+					addr, ok := call.Args[0].(*ast.UnaryExpr)
+					if !ok || addr.Op != token.AND {
+						return true
+					}
+					sel, ok := addr.X.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					s, ok := info.Selections[sel]
+					if !ok || s.Kind() != types.FieldVal {
+						return true
+					}
+					v, ok := s.Obj().(*types.Var)
+					if !ok {
+						return true
+					}
+					if owner := namedOf(s.Recv()); owner != nil {
+						reg[v] = owner
+					}
+					return true
+				})
+			}
+		}
+	}
+	return reg
+}
+
+// runAtomicFieldTyped is the go/types-backed check for one package.
+func runAtomicFieldTyped(p *Pass) {
+	reg, ok := p.Cache["atomicfield.typed"].(typedAtomicRegistry)
+	if !ok {
+		reg = buildTypedAtomicRegistry(p.All)
+		p.Cache["atomicfield.typed"] = reg
+	}
+	if len(reg) == 0 {
+		return
+	}
+	info := p.Pkg.TypesInfo
+	for _, f := range p.Pkg.Files {
+		for _, fn := range funcDecls(f) {
+			checkAtomicFieldsTyped(p, info, fn, reg)
+		}
+	}
+}
+
+func checkAtomicFieldsTyped(p *Pass, info *types.Info, fn *ast.FuncDecl, reg typedAtomicRegistry) {
+	// Selector expressions appearing inside sync/atomic call arguments
+	// are the sanctioned access path.
+	exempt := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !funcIn(calleeFunc(info, call), "sync/atomic") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if s, ok := m.(*ast.SelectorExpr); ok {
+					exempt[s] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Snapshot-style accessors of the owning type may touch their own
+	// fields plainly (they typically still use atomic loads; the
+	// exemption covers the copy they assemble).
+	var recvNamed *types.Named
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		if tv, ok := info.Types[fn.Recv.List[0].Type]; ok {
+			recvNamed = namedOf(tv.Type)
+		} else if len(fn.Recv.List[0].Names) > 0 {
+			if obj := info.Defs[fn.Recv.List[0].Names[0]]; obj != nil {
+				recvNamed = namedOf(obj.Type())
+			}
+		}
+	}
+
+	writes := selectorWrites(fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || exempt[sel] {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		owner, registered := reg[v]
+		if !registered || !s.Indirect() {
+			return true
+		}
+		if recvNamed == owner && strings.HasPrefix(fn.Name.Name, "Snapshot") {
+			return true
+		}
+		verb := "read"
+		if writes[sel] {
+			verb = "write"
+		}
+		p.Reportf(sel.Pos(),
+			"plain %s of %s.%s, a field accessed with sync/atomic elsewhere; use atomic ops or the type's Snapshot accessor",
+			verb, typeDisplay(owner), v.Name())
+		return true
+	})
+}
+
+// typeDisplay renders a named type as "pkgName.TypeName", matching the
+// syntax tier's normalized spelling.
+func typeDisplay(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// selectorWrites collects the selector expressions assigned or
+// inc/dec'd in fn, so diagnostics can say "write" instead of "read".
+func selectorWrites(fn *ast.FuncDecl) map[*ast.SelectorExpr]bool {
+	writes := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if s, ok := lhs.(*ast.SelectorExpr); ok {
+					writes[s] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if s, ok := v.X.(*ast.SelectorExpr); ok {
+				writes[s] = true
+			}
+		}
+		return true
+	})
+	return writes
 }
 
 // buildAtomicRegistry scans the whole module for atomic.*(&base.Field,
@@ -189,22 +367,7 @@ func checkAtomicFields(p *Pass, fn *ast.FuncDecl, atomicName string, reg atomicR
 	}
 
 	// Writes read better called out as writes.
-	writes := map[*ast.SelectorExpr]bool{}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch v := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range v.Lhs {
-				if s, ok := lhs.(*ast.SelectorExpr); ok {
-					writes[s] = true
-				}
-			}
-		case *ast.IncDecStmt:
-			if s, ok := v.X.(*ast.SelectorExpr); ok {
-				writes[s] = true
-			}
-		}
-		return true
-	})
+	writes := selectorWrites(fn)
 
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)

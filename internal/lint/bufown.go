@@ -1,0 +1,242 @@
+package lint
+
+// bufown enforces the conn-owned buffer contract established by the
+// wsproto pooled codec (DESIGN.md §9): a []byte returned by a method
+// documented with the lint:connowned marker (Conn.ReadMessage) is
+// valid only until the caller's next read on the same connection.
+// Retaining it — storing into a struct field, global, map, composite
+// literal, sending it on a channel, or capturing it in a goroutine —
+// without an explicit copy is the exact shape of the browser
+// frame-retainer bug fixed by hand in PR 7; this analyzer makes that
+// bug mechanical. Passing the buffer onward as a plain call argument
+// is legal (the callee sees the same contract), as is re-slicing, and
+// the idiomatic copy append([]byte(nil), buf...) cleanses the taint.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// connOwnedMarker documents a method whose returned slice stays owned
+// by the receiver: //lint:connowned in the method's doc comment.
+const connOwnedMarker = "lint:connowned"
+
+func bufownAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "bufown",
+		Doc:  "slices returned by lint:connowned methods must be copied before being retained",
+		Run: func(p *Pass) {
+			if !p.Pkg.Typed() {
+				return
+			}
+			owned := connOwnedFuncs(p)
+			if len(owned) == 0 {
+				return
+			}
+			for _, f := range p.Pkg.Files {
+				for _, fn := range funcDecls(f) {
+					checkBufOwn(p, fn, owned)
+				}
+			}
+		},
+	}
+}
+
+// connOwnedFuncs collects every function in the module whose doc
+// comment carries the lint:connowned marker, cached module-wide.
+func connOwnedFuncs(p *Pass) map[*types.Func]bool {
+	if cached, ok := p.Cache["bufown.owned"].(map[*types.Func]bool); ok {
+		return cached
+	}
+	owned := map[*types.Func]bool{}
+	for _, pkg := range p.All {
+		if !pkg.Typed() {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Doc == nil {
+					continue
+				}
+				marked := false
+				for _, c := range fn.Doc.List {
+					if strings.Contains(c.Text, connOwnedMarker) {
+						marked = true
+						break
+					}
+				}
+				if !marked {
+					continue
+				}
+				if obj, ok := pkg.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	p.Cache["bufown.owned"] = owned
+	return owned
+}
+
+// checkBufOwn tracks conn-owned slices through one function in source
+// order and flags every retaining use.
+func checkBufOwn(p *Pass, fn *ast.FuncDecl, owned map[*types.Func]bool) {
+	info := p.Pkg.TypesInfo
+	// tainted maps a local variable to the name of the conn-owned
+	// method its current value came from.
+	tainted := map[types.Object]string{}
+
+	// taintSource returns the owned method name when call is a call to
+	// a conn-owned method.
+	taintSource := func(call *ast.CallExpr) (string, bool) {
+		f := calleeFunc(info, call)
+		if f != nil && owned[f] {
+			return f.Name(), true
+		}
+		return "", false
+	}
+
+	// taintedExpr reports whether e still aliases a conn-owned buffer.
+	// Re-slicing preserves the alias; append with a fresh first operand
+	// (append([]byte(nil), buf...)) is the sanctioned copy and does
+	// not.
+	var taintedExpr func(e ast.Expr) (string, bool)
+	taintedExpr = func(e ast.Expr) (string, bool) {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				src, ok := tainted[obj]
+				return src, ok
+			}
+		case *ast.SliceExpr:
+			return taintedExpr(v.X)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && len(v.Args) > 0 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" {
+					return taintedExpr(v.Args[0])
+				}
+			}
+		}
+		return "", false
+	}
+
+	report := func(at ast.Node, src, how string) {
+		p.Reportf(at.Pos(),
+			"conn-owned []byte from %s %s without a copy; the buffer is reused by the next read — copy with append([]byte(nil), buf...)",
+			src, how)
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			// A call to a conn-owned method taints the byte-slice
+			// results it is assigned to; assigning them anywhere but a
+			// local is already a retention.
+			if len(v.Rhs) == 1 {
+				if call, ok := ast.Unparen(v.Rhs[0]).(*ast.CallExpr); ok {
+					if src, ok := taintSource(call); ok {
+						for i, lhs := range v.Lhs {
+							if id, ok := lhs.(*ast.Ident); ok {
+								if id.Name == "_" {
+									continue
+								}
+								if obj := objOf(info, id); obj != nil {
+									if isByteSlice(obj.Type()) {
+										if isPkgLevel(obj) {
+											report(lhs, src, "stored in package-level var "+render(lhs))
+										} else {
+											tainted[obj] = src
+										}
+									}
+								}
+								continue
+							}
+							if resultIsByteSlice(info, call, i, len(v.Lhs)) {
+								report(v.Lhs[i], src, "stored in "+render(v.Lhs[i]))
+							}
+						}
+						return true
+					}
+				}
+			}
+			if len(v.Lhs) == len(v.Rhs) {
+				for i := range v.Lhs {
+					src, isTainted := taintedExpr(v.Rhs[i])
+					if id, ok := v.Lhs[i].(*ast.Ident); ok {
+						if id.Name == "_" {
+							continue
+						}
+						obj := objOf(info, id)
+						if obj == nil {
+							continue
+						}
+						if isTainted && isPkgLevel(obj) {
+							report(v.Lhs[i], src, "stored in package-level var "+id.Name)
+							continue
+						}
+						if isTainted {
+							tainted[obj] = src
+						} else {
+							delete(tainted, obj)
+						}
+						continue
+					}
+					if isTainted {
+						report(v.Lhs[i], src, "stored in "+render(v.Lhs[i]))
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if src, ok := taintedExpr(v.Value); ok {
+				report(v.Value, src, "sent on a channel")
+			}
+		case *ast.GoStmt:
+			reportedGo := false
+			ast.Inspect(v.Call, func(m ast.Node) bool {
+				if reportedGo {
+					return false
+				}
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						if src, ok := tainted[obj]; ok {
+							report(id, src, "captured by a goroutine")
+							reportedGo = true
+							return false
+						}
+					}
+				}
+				return true
+			})
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				val := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if src, ok := taintedExpr(val); ok {
+					report(val, src, "retained by a composite literal")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// resultIsByteSlice reports whether the i'th of n assigned results of
+// call has type []byte.
+func resultIsByteSlice(info *types.Info, call *ast.CallExpr, i, n int) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	if n == 1 {
+		return isByteSlice(tv.Type)
+	}
+	tup, ok := tv.Type.(*types.Tuple)
+	if !ok || i >= tup.Len() {
+		return false
+	}
+	return isByteSlice(tup.At(i).Type())
+}

@@ -15,6 +15,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -79,10 +80,61 @@ func fixtureWants(t *testing.T, pkg *Package) map[string]map[int]*regexp.Regexp 
 	return wants
 }
 
+// typedFixture loads and type-checks a fixture package. deps are
+// already-typed module packages the fixture may import.
+func typedFixture(t *testing.T, dir, path string, deps []*Package) *Package {
+	t.Helper()
+	pkg := loadFixture(t, dir, path)
+	if err := TypeCheckFixture(pkg, deps); err != nil {
+		t.Fatalf("type-check fixture %s: %v", dir, err)
+	}
+	if !pkg.Typed() {
+		t.Fatalf("fixture %s did not type-check", dir)
+	}
+	return pkg
+}
+
+// moduleTypedPkgs loads and type-checks the enclosing module once per
+// test binary; TestRepoIsLintClean and the typed observeonly fixture
+// (which imports repro/internal/obs) share it.
+var (
+	moduleOnce sync.Once
+	modulePkgs []*Package
+	moduleErr  error
+)
+
+func moduleTypedPkgs(t *testing.T) []*Package {
+	t.Helper()
+	moduleOnce.Do(func() {
+		root, err := ModuleRoot(".")
+		if err != nil {
+			moduleErr = err
+			return
+		}
+		modulePkgs, moduleErr = LoadModuleTyped(root)
+	})
+	if moduleErr != nil {
+		t.Fatalf("LoadModuleTyped: %v", moduleErr)
+	}
+	return modulePkgs
+}
+
 // runFixture asserts an exact match between diagnostics and wants.
 func runFixture(t *testing.T, dir, path string, analyzers ...*Analyzer) {
 	t.Helper()
 	pkg := loadFixture(t, dir, path)
+	checkFixture(t, pkg, analyzers)
+}
+
+// runTypedFixture is runFixture through the typed tier.
+func runTypedFixture(t *testing.T, dir, path string, deps []*Package, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg := typedFixture(t, dir, path, deps)
+	checkFixture(t, pkg, analyzers)
+}
+
+func checkFixture(t *testing.T, pkg *Package, analyzers []*Analyzer) {
+	t.Helper()
 	wants := fixtureWants(t, pkg)
 	diags := RunAnalyzers([]*Package{pkg}, analyzers)
 
@@ -167,6 +219,91 @@ func TestObserveonlyExemptsCmd(t *testing.T) {
 
 func TestSpancloseFixture(t *testing.T) {
 	runFixture(t, "spanclose", "repro/internal/fix", spancloseAnalyzer())
+}
+
+// Typed-tier reruns of the syntax-tier fixtures: the same wants must
+// hold when the analyzers resolve types instead of matching syntax, so
+// upgrading an analyzer can never silently change its verdicts.
+func TestMaporderFixtureTyped(t *testing.T) {
+	runTypedFixture(t, "maporder", "repro/internal/fix", nil, maporderAnalyzer())
+}
+
+func TestAtomicfieldFixtureTyped(t *testing.T) {
+	runTypedFixture(t, "atomicfield", "repro/internal/fix", nil, atomicfieldAnalyzer())
+}
+
+func TestObserveonlyFixtureTyped(t *testing.T) {
+	runTypedFixture(t, "observeonly", "repro/internal/fix", moduleTypedPkgs(t), observeonlyAnalyzer())
+}
+
+func TestBufownFixture(t *testing.T) {
+	runTypedFixture(t, "bufown", "repro/internal/fix", nil, bufownAnalyzer())
+}
+
+// TestBufownNeedsTypes runs the bufown fixture through the syntax tier
+// only: a typed analyzer must stay silent on an untyped package rather
+// than guess.
+func TestBufownNeedsTypes(t *testing.T) {
+	pkg := loadFixture(t, "bufown", "repro/internal/fix")
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{bufownAnalyzer()}); len(diags) != 0 {
+		t.Fatalf("bufown fired on an untyped package: %v", diags)
+	}
+}
+
+func TestPoolpairFixture(t *testing.T) {
+	runTypedFixture(t, "poolpair", "repro/internal/fix", nil, poolpairAnalyzer())
+}
+
+func TestDeadlineFixture(t *testing.T) {
+	runTypedFixture(t, "deadline", "repro/internal/wsproto", nil, deadlineAnalyzer())
+}
+
+// TestDeadlineScopedToServingPackages re-lints the deadline fixture
+// under a non-serving path: nothing may fire.
+func TestDeadlineScopedToServingPackages(t *testing.T) {
+	pkg := typedFixture(t, "deadline", "repro/internal/analysis", nil)
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{deadlineAnalyzer()}); len(diags) != 0 {
+		t.Fatalf("deadline fired outside the serving packages: %v", diags)
+	}
+}
+
+func TestLockguardFixture(t *testing.T) {
+	runTypedFixture(t, "lockguard", "repro/internal/fix", nil, lockguardAnalyzer())
+}
+
+// TestPragmaEdgeCases pins the pragma grammar's corners: several
+// pragmas sharing one comment line, pragmas in block comments (single
+// line and inner line, covering through the line after the closing
+// delimiter), and a doc-comment pragma covering its whole declaration
+// but not the code after it. Expectations are inline because a want
+// comment cannot share a line with the pragma it describes.
+func TestPragmaEdgeCases(t *testing.T) {
+	pkg := loadFixture(t, "pragmaedge", "repro/internal/webgen")
+	res := Run([]*Package{pkg}, []*Analyzer{determinismAnalyzer(), maporderAnalyzer()})
+
+	var leaked []string
+	for _, d := range res.Diagnostics {
+		if d.Analyzer != "determinism" || !strings.Contains(d.Message, "time.Now") {
+			leaked = append(leaked, d.String())
+		}
+	}
+	if len(leaked) > 0 {
+		t.Errorf("unexpected diagnostics: %v", leaked)
+	}
+	// Exactly one finding survives: afterDecl's time.Now, proving the
+	// doc pragma stops at its declaration's end.
+	if got := len(res.Diagnostics); got != 1 {
+		t.Errorf("want exactly 1 surviving diagnostic, got %d: %v", got, res.Diagnostics)
+	}
+	// multiOnOneLine (1) + blockComment (1) + blockInner (1) +
+	// declCovered (2) determinism suppressions; multiOnOneLine's append
+	// is the single maporder suppression.
+	if got := res.Suppressed["determinism"]; got != 5 {
+		t.Errorf("Suppressed[determinism] = %d, want 5", got)
+	}
+	if got := res.Suppressed["maporder"]; got != 1 {
+		t.Errorf("Suppressed[maporder] = %d, want 1", got)
+	}
 }
 
 // TestPragmaValidation checks that malformed pragmas are themselves

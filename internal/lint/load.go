@@ -3,8 +3,11 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
+	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -26,6 +29,25 @@ type Package struct {
 	Files []*ast.File
 	// Filenames are the module-relative paths, parallel to Files.
 	Filenames []string
+
+	// Types and TypesInfo carry the go/types view of the package once
+	// the typed tier has run (LoadModuleTyped / TypeCheckModule). They
+	// are nil under the syntax-only loader and for packages that failed
+	// to parse or type-check; analyzers consult Typed() and fall back
+	// to syntax heuristics when absent.
+	Types *types.Package
+	// TypesInfo records Uses, Defs, Types, and Selections for every
+	// file in Files.
+	TypesInfo *types.Info
+	// Errs holds parse and type-check failures as diagnostics
+	// (analyzer "load"). A package with Errs keeps its parseable files
+	// on the syntax surface but is skipped by the typed tier.
+	Errs []Diagnostic
+}
+
+// Typed reports whether the typed tier is available for this package.
+func (p *Package) Typed() bool {
+	return p.TypesInfo != nil && p.Types != nil
 }
 
 // ModuleRoot walks up from start until it finds a go.mod.
@@ -76,10 +98,40 @@ func lintableFile(name string) bool {
 		!strings.HasPrefix(name, "_")
 }
 
+// parseDiags converts a parser error (usually a scanner.ErrorList) into
+// positioned "load" diagnostics so one broken file degrades into
+// findings instead of aborting the whole run.
+func parseDiags(file string, err error) []Diagnostic {
+	var out []Diagnostic
+	if list, ok := err.(scanner.ErrorList); ok {
+		for i, e := range list {
+			if i == 3 { // a corrupt file can produce hundreds; keep the head
+				out = append(out, Diagnostic{
+					File: file, Line: e.Pos.Line, Col: e.Pos.Column,
+					Analyzer: "load",
+					Message:  fmt.Sprintf("parse: %d further errors in this file omitted", len(list)-i),
+				})
+				break
+			}
+			out = append(out, Diagnostic{
+				File: file, Line: e.Pos.Line, Col: e.Pos.Column,
+				Analyzer: "load",
+				Message:  "parse: " + e.Msg,
+			})
+		}
+		return out
+	}
+	return []Diagnostic{{File: file, Line: 1, Col: 1, Analyzer: "load", Message: "parse: " + err.Error()}}
+}
+
 // LoadModule parses every non-test Go file under root into packages,
 // one per directory, with import paths derived from the module name in
 // go.mod. testdata, vendor, and dot directories are skipped. Files are
 // positioned by module-relative path so diagnostics print cleanly.
+//
+// Parse failures do not abort the load: the broken file is dropped,
+// the failure is recorded on the package's Errs as "load" diagnostics,
+// and the remaining files still reach the syntax analyzers.
 func LoadModule(root string) ([]*Package, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
@@ -142,17 +194,177 @@ func LoadModule(root string) ([]*Package, error) {
 			if err != nil {
 				return nil, err
 			}
-			f, err := parser.ParseFile(fset, filepath.ToSlash(relFile), src, parser.ParseComments)
+			name := filepath.ToSlash(relFile)
+			f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
 			if err != nil {
-				return nil, fmt.Errorf("lint: parse %s: %w", relFile, err)
+				pkg.Errs = append(pkg.Errs, parseDiags(name, err)...)
+				continue
 			}
 			pkg.Files = append(pkg.Files, f)
-			pkg.Filenames = append(pkg.Filenames, filepath.ToSlash(relFile))
+			pkg.Filenames = append(pkg.Filenames, name)
 		}
 		if len(pkg.Files) > 0 {
 			pkg.Name = pkg.Files[0].Name.Name
+		}
+		if len(pkg.Files) > 0 || len(pkg.Errs) > 0 {
 			pkgs = append(pkgs, pkg)
 		}
 	}
 	return pkgs, nil
+}
+
+// LoadModuleTyped is LoadModule followed by TypeCheckModule: the full
+// typed tier. Packages that fail to parse or type-check stay on the
+// syntax surface with their failures recorded in Errs.
+func LoadModuleTyped(root string) ([]*Package, error) {
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	TypeCheckModule(pkgs)
+	return pkgs, nil
+}
+
+// maxTypeErrs caps the type-check diagnostics recorded per package; a
+// single missing symbol tends to cascade.
+const maxTypeErrs = 5
+
+// typeChecker resolves imports for the typed tier: module-internal
+// paths are type-checked from source on demand (dependency order falls
+// out of the recursion), pre-typed externals are served directly, and
+// everything else goes to the compiled-export-data importer for the
+// host toolchain's stdlib.
+type typeChecker struct {
+	byPath map[string]*Package       // module packages, checked on demand
+	extern map[string]*types.Package // pre-typed dependencies (fixture runs)
+	std    types.ImporterFrom
+	busy   map[string]bool // import-cycle guard
+	done   map[string]bool
+}
+
+func newTypeChecker(fset *token.FileSet) *typeChecker {
+	return &typeChecker{
+		byPath: map[string]*Package{},
+		extern: map[string]*types.Package{},
+		std:    importer.ForCompiler(fset, "gc", nil).(types.ImporterFrom),
+		busy:   map[string]bool{},
+		done:   map[string]bool{},
+	}
+}
+
+func (tc *typeChecker) Import(path string) (*types.Package, error) {
+	return tc.ImportFrom(path, "", 0)
+}
+
+func (tc *typeChecker) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if dep, ok := tc.extern[path]; ok {
+		return dep, nil
+	}
+	if p, ok := tc.byPath[path]; ok {
+		if tc.busy[path] {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		tc.ensure(p)
+		if p.Types == nil {
+			return nil, fmt.Errorf("package %s has parse or type errors", path)
+		}
+		return p.Types, nil
+	}
+	return tc.std.ImportFrom(path, dir, mode)
+}
+
+// ensure type-checks p exactly once, recursing through module imports.
+func (tc *typeChecker) ensure(p *Package) {
+	if tc.done[p.Path] {
+		return
+	}
+	tc.busy[p.Path] = true
+	defer func() {
+		delete(tc.busy, p.Path)
+		tc.done[p.Path] = true
+	}()
+	if len(p.Errs) > 0 || len(p.Files) == 0 {
+		return // parse-broken: stays syntax-only
+	}
+	tc.check(p)
+}
+
+// check runs go/types over one package, recording failures as "load"
+// diagnostics. On any hard error the package is left untyped so the
+// typed analyzers skip it rather than work from partial information.
+func (tc *typeChecker) check(p *Package) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var terrs []Diagnostic
+	conf := types.Config{
+		Importer: tc,
+		Error: func(err error) {
+			te, ok := err.(types.Error)
+			if !ok {
+				terrs = append(terrs, Diagnostic{
+					File: p.Path, Line: 1, Col: 1,
+					Analyzer: "load", Message: "typecheck: " + err.Error(),
+				})
+				return
+			}
+			if len(terrs) >= maxTypeErrs {
+				return
+			}
+			pos := te.Fset.Position(te.Pos)
+			terrs = append(terrs, Diagnostic{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: "load", Message: "typecheck: " + te.Msg,
+			})
+		},
+	}
+	tpkg, _ := conf.Check(p.Path, p.Fset, p.Files, info)
+	if len(terrs) > 0 {
+		p.Errs = append(p.Errs, terrs...)
+		return
+	}
+	p.Types = tpkg
+	p.TypesInfo = info
+}
+
+// TypeCheckModule type-checks pkgs (which must share one FileSet)
+// against each other and the host toolchain's compiled stdlib. It
+// never fails as a whole: packages that do not type-check keep nil
+// Types/TypesInfo and carry the errors in Errs.
+func TypeCheckModule(pkgs []*Package) {
+	if len(pkgs) == 0 {
+		return
+	}
+	tc := newTypeChecker(pkgs[0].Fset)
+	for _, p := range pkgs {
+		tc.byPath[p.Path] = p
+	}
+	for _, p := range pkgs {
+		tc.ensure(p)
+	}
+}
+
+// TypeCheckFixture type-checks one hand-loaded package (the golden-test
+// path). deps supplies already-typed packages for module-internal
+// imports; stdlib imports resolve through the compiled importer. The
+// error joins every recorded failure so fixtures fail loudly.
+func TypeCheckFixture(pkg *Package, deps []*Package) error {
+	tc := newTypeChecker(pkg.Fset)
+	for _, d := range deps {
+		if d.Types != nil {
+			tc.extern[d.Path] = d.Types
+		}
+	}
+	tc.ensure(pkg)
+	if len(pkg.Errs) > 0 {
+		msgs := make([]string, len(pkg.Errs))
+		for i, d := range pkg.Errs {
+			msgs[i] = d.String()
+		}
+		return fmt.Errorf("typecheck fixture %s:\n%s", pkg.Path, strings.Join(msgs, "\n"))
+	}
+	return nil
 }

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -18,18 +19,22 @@ var writerMethods = map[string]bool{
 // maporderAnalyzer flags map iteration whose order escapes into output:
 // a range over a map that appends to a slice never subsequently sorted,
 // or that writes to an encoder/stream directly. Map-to-map folds
-// (out[k] += v) are order-insensitive and stay legal. Without go/types
-// the analyzer recognizes maps syntactically: parameters and locals
-// with map types, make(map...)/map literals, package-level map vars,
-// and selectors of struct fields declared as maps anywhere in the
-// package.
+// (out[k] += v) are order-insensitive and stay legal. Under the typed
+// tier, map-ness comes from the resolved type of the range operand —
+// any expression, not just the syntactic shapes. The syntax fallback
+// (parameters and locals with map types, make(map...)/map literals,
+// package-level map vars, selectors of struct fields declared as maps
+// in the package) remains for packages that did not type-check.
 func maporderAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "maporder",
 		Doc:  "forbid map-iteration order reaching appends or encoder output without a sort",
 		Run: func(p *Pass) {
-			mapFields := collectMapFields(p.Pkg)
-			mapGlobals := collectMapGlobals(p.Pkg)
+			var mapFields, mapGlobals map[string]bool
+			if !p.Pkg.Typed() {
+				mapFields = collectMapFields(p.Pkg)
+				mapGlobals = collectMapGlobals(p.Pkg)
+			}
 			for _, f := range p.Pkg.Files {
 				sortName := importName(f, "sort")
 				for _, fn := range funcDecls(f) {
@@ -114,6 +119,23 @@ func isMapValue(e ast.Expr) bool {
 
 // checkMapOrder inspects one function.
 func checkMapOrder(p *Pass, fn *ast.FuncDecl, mapFields, mapGlobals map[string]bool, sortName string) {
+	if p.Pkg.Typed() {
+		info := p.Pkg.TypesInfo
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := info.TypeOf(rs.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					checkMapRange(p, fn, rs, sortName)
+				}
+			}
+			return true
+		})
+		return
+	}
+
 	localMaps := map[string]bool{}
 	addParams := func(fl *ast.FieldList) {
 		if fl == nil {

@@ -32,6 +32,10 @@ func observeonlyAnalyzer() *Analyzer {
 				strings.HasPrefix(path, "repro/examples/") {
 				return
 			}
+			if p.Pkg.Typed() {
+				runObserveOnlyTyped(p)
+				return
+			}
 			// Package-level vars bound to obs expressions (the
 			// pre-resolved metric pattern) are tracked across files.
 			tainted := map[string]bool{}
@@ -68,6 +72,36 @@ func observeonlyAnalyzer() *Analyzer {
 				}
 			}
 		},
+	}
+}
+
+// runObserveOnlyTyped flags every call that resolves to an obs-package
+// read method, wherever the receiver came from — the typed tier
+// replaces the syntax taint heuristic (which missed obs values passed
+// in as parameters or stored in fields) with exact callee resolution.
+// Package-level var initializers are inspected too, not just function
+// bodies.
+func runObserveOnlyTyped(p *Pass) {
+	info := p.Pkg.TypesInfo
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fObj := calleeFunc(info, call)
+			if fObj == nil || !funcIn(fObj, obsPath) || !obsReadMethods[fObj.Name()] {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"%s.%s() reads metric state in library package %s; instrumentation is observe-only — reads belong to obs, cmd, and tests",
+				render(sel.X), fObj.Name(), p.Pkg.Path)
+			return true
+		})
 	}
 }
 

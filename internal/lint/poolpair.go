@@ -1,0 +1,499 @@
+package lint
+
+// poolpair enforces the sync.Pool discipline the wsproto codec and
+// filterlist scratch pools rely on (DESIGN.md §9): a value taken with
+// Get is either returned to the caller (ownership transfer, the
+// getScratch/getHandshakeWriter pattern) or Put back on every path
+// through the same function; it is never used after the Put, never
+// overwritten while still owed a Put, and never Put after escaping to
+// shared state (another holder could still reach it). The path walk is
+// statement-level and syntax-directed: if/else and switch arms merge
+// conservatively, loop bodies are analyzed but assumed to run zero
+// times, and a deferred Put covers every later return.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func poolpairAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "poolpair",
+		Doc:  "sync.Pool Get must pair with Put on every path, with no use after Put",
+		Run: func(p *Pass) {
+			if !p.Pkg.Typed() {
+				return
+			}
+			for _, f := range p.Pkg.Files {
+				for _, fn := range funcDecls(f) {
+					checkPoolPair(p, fn)
+				}
+			}
+		},
+	}
+}
+
+// poolCallOf returns the (*sync.Pool).Get or .Put call underlying e,
+// unwrapping parens and type assertions.
+func poolCallOf(info *types.Info, e ast.Expr, name string) *ast.CallExpr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.TypeAssertExpr:
+			e = v.X
+		case *ast.CallExpr:
+			if isPoolMethod(calleeFunc(info, v), name) {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// argIdent unwraps a Put argument to its base identifier: s, &s, *s.
+func argIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func checkPoolPair(p *Pass, fn *ast.FuncDecl) {
+	info := p.Pkg.TypesInfo
+
+	// Pass 1: classify every Get call. Assigned Gets are tracked;
+	// returned Gets transfer ownership to the caller; anything else
+	// can never be Put and is flagged outright.
+	covered := map[*ast.CallExpr]bool{}
+	var tracks []*poolTracked
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Rhs) != 1 {
+				return true
+			}
+			call := poolCallOf(info, v.Rhs[0], "Get")
+			if call == nil {
+				return true
+			}
+			covered[call] = true
+			if len(v.Lhs) != 1 {
+				return true
+			}
+			id, ok := v.Lhs[0].(*ast.Ident)
+			if !ok {
+				p.Reportf(v.Lhs[0].Pos(),
+					"sync.Pool Get stored directly into %s; Get results must live in a local so the matching Put is trackable", render(v.Lhs[0]))
+				return true
+			}
+			if id.Name == "_" {
+				p.Reportf(call.Pos(), "sync.Pool Get discarded; the value can never be Put back")
+				return true
+			}
+			if obj := objOf(info, id); obj != nil {
+				tracks = append(tracks, &poolTracked{obj: obj, stmt: v, getPos: call, srcName: id.Name})
+			}
+		case *ast.ReturnStmt:
+			for _, res := range v.Results {
+				if call := poolCallOf(info, res, "Get"); call != nil {
+					covered[call] = true // ownership transfers to the caller
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || covered[call] || !isPoolMethod(calleeFunc(info, call), "Get") {
+			return true
+		}
+		p.Reportf(call.Pos(), "sync.Pool Get used inline; the value can never be Put back")
+		return false
+	})
+
+	for _, tr := range tracks {
+		// Ownership transfer: the value is returned to the caller.
+		transferred := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				if id := argIdent(res); id != nil && info.Uses[id] == tr.obj {
+					transferred = true
+				}
+			}
+			return !transferred
+		})
+		if transferred {
+			continue
+		}
+
+		// Escape check: a pooled value stored into shared state must
+		// not be Put — another holder may still use it.
+		escaped := poolEscapes(info, fn, tr.obj)
+		if escaped {
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPoolMethod(calleeFunc(info, call), "Put") && len(call.Args) == 1 {
+					if id := argIdent(call.Args[0]); id != nil && info.Uses[id] == tr.obj {
+						p.Reportf(call.Pos(),
+							"sync.Pool Put of %s, which escaped this function; another holder may still use the pooled value", tr.srcName)
+					}
+				}
+				return true
+			})
+			continue // path analysis is moot once it escaped
+		}
+
+		w := &poolWalk{pass: p, info: info, tr: tr}
+		w.walkStmts(fn.Body.List)
+	}
+}
+
+// poolEscapes reports whether obj is stored into non-local state:
+// assigned to a field/global/index, sent on a channel, captured by a
+// goroutine, or placed in a composite literal.
+func poolEscapes(info *types.Info, fn *ast.FuncDecl, obj types.Object) bool {
+	escaped := false
+	refsObj := func(e ast.Expr) bool {
+		id := argIdent(e)
+		return id != nil && info.Uses[id] == obj
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i := range v.Rhs {
+				if !refsObj(v.Rhs[i]) {
+					continue
+				}
+				switch lhs := v.Lhs[i].(type) {
+				case *ast.Ident:
+					if o := objOf(info, lhs); isPkgLevel(o) {
+						escaped = true
+					}
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					_ = lhs
+					escaped = true
+				}
+			}
+		case *ast.SendStmt:
+			if refsObj(v.Value) {
+				escaped = true
+			}
+		case *ast.GoStmt:
+			ast.Inspect(v.Call, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					escaped = true
+				}
+				return !escaped
+			})
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				val := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if refsObj(val) {
+					escaped = true
+				}
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// poolTracked is one assigned Get under path analysis.
+type poolTracked struct {
+	obj     types.Object
+	stmt    ast.Stmt
+	getPos  ast.Node
+	srcName string
+}
+
+// poolWalk is the per-Get path-sensitive statement walker.
+type poolWalk struct {
+	pass *Pass
+	info *types.Info
+	tr   *poolTracked
+
+	active   bool // the Get has happened and the var is in scope
+	put      bool // Put has happened on this path
+	deferred bool // a deferred Put covers function exit
+
+	reportedUseAfter bool
+	reportedMissing  bool
+}
+
+// walkStmts walks one statement list (one lexical scope), returning
+// whether every path through it terminated (returned/branched). If the
+// Get happened in this scope and control falls off its end without a
+// Put, that is the leak.
+func (w *poolWalk) walkStmts(stmts []ast.Stmt) bool {
+	activatedHere := false
+	terminated := false
+	for _, s := range stmts {
+		if terminated {
+			break
+		}
+		if s == w.tr.stmt {
+			w.active = true
+			activatedHere = true
+			// The Get's own RHS/LHS are not uses.
+			continue
+		}
+		terminated = w.stmt(s)
+	}
+	if activatedHere {
+		if w.active && !terminated && !w.put && !w.deferred && !w.reportedMissing {
+			w.pass.Reportf(w.tr.getPos.Pos(),
+				"sync.Pool Get of %s is not Put on the path falling off the end of its scope", w.tr.srcName)
+			w.reportedMissing = true
+		}
+		w.active = false
+	}
+	return terminated
+}
+
+// stmt analyzes one statement, returning whether it terminates the
+// current path.
+func (w *poolWalk) stmt(s ast.Stmt) bool {
+	switch v := s.(type) {
+	case *ast.ExprStmt:
+		if call := poolCallOf(w.info, v.X, "Put"); call != nil && len(call.Args) == 1 {
+			if id := argIdent(call.Args[0]); id != nil && w.info.Uses[id] == w.tr.obj {
+				if !w.active {
+					return false
+				}
+				if w.put || w.deferred {
+					w.pass.Reportf(call.Pos(), "sync.Pool Put of %s twice on the same path", w.tr.srcName)
+				}
+				w.put = true
+				return false
+			}
+		}
+		w.checkUse(v)
+	case *ast.AssignStmt:
+		for _, rhs := range v.Rhs {
+			w.checkUseExpr(rhs)
+		}
+		if w.active {
+			for _, lhs := range v.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && objOf(w.info, id) == w.tr.obj {
+					if !w.put && !w.deferred && !w.reportedMissing {
+						w.pass.Reportf(v.Pos(),
+							"%s overwritten while still owing a sync.Pool Put; the pooled value leaks", w.tr.srcName)
+						w.reportedMissing = true
+					}
+					w.active = false
+				} else {
+					w.checkUseExpr(lhs)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if w.active && w.deferContainsPut(v) {
+			w.deferred = true
+		}
+	case *ast.ReturnStmt:
+		w.checkUse(v)
+		if w.active && !w.put && !w.deferred && !w.reportedMissing {
+			w.pass.Reportf(v.Pos(),
+				"return without sync.Pool Put of %s; every path must Put or return the value", w.tr.srcName)
+			w.reportedMissing = true
+		}
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto: stop tracking this path
+	case *ast.BlockStmt:
+		return w.walkStmts(v.List)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			w.stmt(v.Init)
+		}
+		w.checkUseExpr(v.Cond)
+		before := w.put
+		tTerm := w.walkStmts(v.Body.List)
+		tPut := w.put
+		w.put = before
+		eTerm := false
+		ePut := before
+		if v.Else != nil {
+			eTerm = w.stmt(v.Else)
+			ePut = w.put
+			w.put = before
+		}
+		switch {
+		case tTerm && eTerm:
+			return true
+		case tTerm:
+			w.put = ePut
+		case eTerm:
+			w.put = tPut
+		default:
+			w.put = tPut && ePut
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			w.stmt(v.Init)
+		}
+		if v.Cond != nil {
+			w.checkUseExpr(v.Cond)
+		}
+		before := w.put
+		w.walkStmts(v.Body.List)
+		if v.Post != nil {
+			w.stmt(v.Post)
+		}
+		w.put = before // the body may run zero times
+	case *ast.RangeStmt:
+		w.checkUseExpr(v.X)
+		before := w.put
+		w.walkStmts(v.Body.List)
+		w.put = before
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(s)
+	case *ast.LabeledStmt:
+		return w.stmt(v.Stmt)
+	case *ast.GoStmt:
+		// escape handling covers goroutines; not a synchronous use
+	default:
+		w.checkUse(s)
+	}
+	return false
+}
+
+// branches merges a switch/select statement: the incoming path
+// continues through any case (or past the whole statement when there
+// is no default), so Put must hold on all of them to count.
+func (w *poolWalk) branches(s ast.Stmt) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch v := s.(type) {
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			w.stmt(v.Init)
+		}
+		if v.Tag != nil {
+			w.checkUseExpr(v.Tag)
+		}
+		body = v.Body
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			w.stmt(v.Init)
+		}
+		body = v.Body
+	case *ast.SelectStmt:
+		body = v.Body
+	}
+	before := w.put
+	allPut := true
+	allTerm := true
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.checkUseExpr(e)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				w.stmt(c.Comm)
+			}
+			stmts = c.Body
+		}
+		term := w.walkStmts(stmts)
+		if !term {
+			allTerm = false
+			allPut = allPut && w.put
+		}
+		w.put = before
+	}
+	if _, isSelect := s.(*ast.SelectStmt); isSelect {
+		hasDefault = hasDefault || len(body.List) > 0 // select blocks until a case runs
+	}
+	if !hasDefault {
+		allTerm = false
+		allPut = allPut && before // fall-through path keeps incoming state
+	}
+	if allTerm {
+		return true
+	}
+	w.put = allPut
+	return false
+}
+
+// deferContainsPut reports whether a defer statement Puts the tracked
+// value, directly or inside a deferred closure.
+func (w *poolWalk) deferContainsPut(d *ast.DeferStmt) bool {
+	found := false
+	check := func(call *ast.CallExpr) {
+		if isPoolMethod(calleeFunc(w.info, call), "Put") && len(call.Args) == 1 {
+			if id := argIdent(call.Args[0]); id != nil && w.info.Uses[id] == w.tr.obj {
+				found = true
+			}
+		}
+	}
+	check(d.Call)
+	ast.Inspect(d.Call, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			check(call)
+		}
+		return !found
+	})
+	return found
+}
+
+// checkUse flags any reference to the tracked value after its Put.
+func (w *poolWalk) checkUse(n ast.Node) {
+	if !w.active || !w.put || w.reportedUseAfter {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if w.reportedUseAfter {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && w.info.Uses[id] == w.tr.obj {
+			w.pass.Reportf(id.Pos(),
+				"use of %s after sync.Pool Put; the pooled value may already be reused", w.tr.srcName)
+			w.reportedUseAfter = true
+			return false
+		}
+		return true
+	})
+}
+
+func (w *poolWalk) checkUseExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	w.checkUse(e)
+}

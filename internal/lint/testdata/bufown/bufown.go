@@ -1,0 +1,101 @@
+// Fixture for the bufown analyzer: slices returned by lint:connowned
+// methods alias conn-owned scratch and must not be retained without an
+// explicit copy. The retainerBugShape function reproduces the browser
+// devtools retainer bug: a conn-owned payload stored into an event
+// struct that outlives the read loop.
+package fix
+
+// Conn is a stand-in for the wsproto connection.
+type Conn struct{ buf []byte }
+
+// ReadMessage returns the next message payload. The returned slice
+// aliases conn-owned scratch and is overwritten by the next read.
+//
+//lint:connowned
+func (c *Conn) ReadMessage() (int, []byte, error) {
+	return 1, c.buf, nil
+}
+
+// ReadPlain is identical in shape but unmarked: its results carry no
+// ownership contract and must not be flagged.
+func (c *Conn) ReadPlain() (int, []byte, error) {
+	return 1, c.buf, nil
+}
+
+type event struct {
+	Payload []byte
+	kind    int
+}
+
+type sink struct {
+	last []byte
+	byID map[int][]byte
+}
+
+var lastGlobal []byte
+
+func use(b []byte)       {}
+func parse(b []byte) int { return len(b) }
+
+func retainers(c *Conn, s *sink, ch chan []byte, id int) {
+	_, msg, err := c.ReadMessage()
+	if err != nil {
+		return
+	}
+	s.last = msg                       // want "stored in s.last"
+	lastGlobal = msg                   // want "package-level var lastGlobal"
+	s.byID[id] = msg                   // want "stored in"
+	ch <- msg                          // want "sent on a channel"
+	ev := event{Payload: msg, kind: 2} // want "retained by a composite literal"
+	_ = ev
+	go func() { use(msg) }() // want "captured by a goroutine"
+}
+
+// devtoolsEvent mirrors the browser's devtools frame event.
+type devtoolsEvent struct{ Payload []byte }
+
+func retainerBugShape(c *Conn, events []devtoolsEvent) []devtoolsEvent {
+	for {
+		_, msg, err := c.ReadMessage()
+		if err != nil {
+			return events
+		}
+		events = append(events, devtoolsEvent{Payload: msg}) // want "retained by a composite literal"
+	}
+}
+
+func retainerFixed(c *Conn, events []devtoolsEvent) []devtoolsEvent {
+	for {
+		_, msg, err := c.ReadMessage()
+		if err != nil {
+			return events
+		}
+		msg = append([]byte(nil), msg...) // the copy cleanses ownership
+		events = append(events, devtoolsEvent{Payload: msg})
+	}
+}
+
+func resliceStillOwned(c *Conn, s *sink) {
+	_, msg, err := c.ReadMessage()
+	if err != nil {
+		return
+	}
+	s.last = msg[4:] // want "stored in s.last"
+}
+
+func legalUses(c *Conn) int {
+	_, msg, err := c.ReadMessage()
+	if err != nil {
+		return 0
+	}
+	n := parse(msg)     // call arguments are borrowed for the call only
+	m := parse(msg[2:]) // re-slicing as an argument is equally fine
+	local := msg        // a local alias is fine until it is retained
+	use(local)
+	return n + m
+}
+
+func unmarkedIsFree(c *Conn, s *sink) {
+	_, msg, _ := c.ReadPlain()
+	s.last = msg // unmarked method: no ownership contract, no finding
+}

@@ -1,0 +1,69 @@
+// Fixture for the deadline analyzer: blocking reads on net.Conn and
+// ReadMessage-style codecs must be dominated by a deadline call. The
+// golden test loads this fixture as a serving package
+// (repro/internal/wsproto) and again as a non-serving package
+// (repro/internal/analysis), where nothing may fire.
+package fix
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"time"
+)
+
+// Codec is a wsproto.Conn stand-in: it has both ReadMessage and
+// SetReadDeadline, and is not a net.Conn.
+type Codec struct{ nc net.Conn }
+
+func (c *Codec) ReadMessage() (int, []byte, error) { return 0, nil, nil }
+func (c *Codec) SetReadDeadline(t time.Time) error { return nil }
+
+func handshakeNoDeadline(nc net.Conn) {
+	buf := make([]byte, 4)
+	_, _ = nc.Read(buf) // want "blocking Read on net.Conn without a deadline"
+}
+
+func handshakeWithDeadline(nc net.Conn, d time.Duration) {
+	_ = nc.SetReadDeadline(time.Now().Add(d))
+	buf := make([]byte, 4)
+	_, _ = nc.Read(buf)
+}
+
+func deadlineTooLate(nc net.Conn) {
+	buf := make([]byte, 4)
+	_, _ = io.ReadFull(nc, buf) // want "set only after the first blocking io.ReadFull"
+	_ = nc.SetDeadline(time.Time{})
+}
+
+func wrapNoDeadline(nc net.Conn) *bufio.Reader {
+	return bufio.NewReader(nc) // want "blocking bufio reader wrap on net.Conn"
+}
+
+func wrapWithDeadline(nc net.Conn) *bufio.Reader {
+	_ = nc.SetDeadline(time.Now().Add(time.Second))
+	return bufio.NewReader(nc)
+}
+
+func passThrough(nc net.Conn, d time.Duration) {
+	handshakeWithDeadline(nc, d) // a plain call argument is the callee's concern
+}
+
+func readLoop(c *Codec, idle time.Duration) {
+	for {
+		_ = c.SetReadDeadline(time.Now().Add(idle))
+		_, _, err := c.ReadMessage()
+		if err != nil {
+			return
+		}
+	}
+}
+
+func readLoopNoDeadline(c *Codec) {
+	for {
+		_, _, err := c.ReadMessage() // want "ReadMessage on c without a preceding SetReadDeadline"
+		if err != nil {
+			return
+		}
+	}
+}

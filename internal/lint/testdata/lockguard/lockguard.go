@@ -1,0 +1,69 @@
+// Fixture for the lockguard analyzer: fields annotated "guarded by
+// <mu>" must only be accessed with that mutex held in the same
+// function, and mutex-bearing values must never be copied.
+package fix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	s  string
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) race() int {
+	return c.n // want "access to counter.n without holding c.mu"
+}
+
+func (c *counter) unlockTooSoon() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want "without holding c.mu"
+}
+
+func (c *counter) unguardedIsFree() string {
+	return c.s
+}
+
+func newCounter() *counter {
+	return &counter{n: 7} // composite-literal construction is exempt
+}
+
+func copyByDeref(c *counter) counter {
+	snap := *c // want "assignment copies"
+	return snap
+}
+
+func passByValue(c counter) int { return 0 }
+
+func callCopies(c *counter) {
+	_ = passByValue(*c) // want "call argument copies"
+}
+
+func rangeCopies(cs []counter) {
+	for _, c := range cs { // want "range clause copies"
+		_ = c.s
+	}
+}
+
+func pointersAreFine(cs []*counter) {
+	for _, c := range cs {
+		c.inc()
+	}
+}
+
+type stale struct {
+	x int // guarded by missing // want "names no field of stale"
+}

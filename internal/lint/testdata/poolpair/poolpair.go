@@ -1,0 +1,96 @@
+// Fixture for the poolpair analyzer: every sync.Pool Get must be Put
+// on all paths of the same function (or ownership returned to the
+// caller), never used after Put, and never Put after escaping.
+package fix
+
+import (
+	"errors"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+var errFail = errors.New("fail")
+
+func use(b []byte)   {}
+func prep(b *[]byte) {}
+
+func balanced() {
+	b := bufPool.Get().(*[]byte)
+	use(*b)
+	bufPool.Put(b)
+}
+
+func missingOnError(fail bool) error {
+	b := bufPool.Get().(*[]byte)
+	if fail {
+		return errFail // want "return without sync.Pool Put of b"
+	}
+	bufPool.Put(b)
+	return nil
+}
+
+func branchBalanced(fail bool) {
+	b := bufPool.Get().(*[]byte)
+	if fail {
+		bufPool.Put(b)
+		return
+	}
+	use(*b)
+	bufPool.Put(b)
+}
+
+func deferredPut() {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	use(*b)
+}
+
+func useAfterPut() {
+	b := bufPool.Get().(*[]byte)
+	bufPool.Put(b)
+	use(*b) // want "use of b after sync.Pool Put"
+}
+
+func doublePut() {
+	b := bufPool.Get().(*[]byte)
+	bufPool.Put(b)
+	bufPool.Put(b) // want "twice on the same path"
+}
+
+func fallsOffEnd() {
+	b := bufPool.Get().(*[]byte) // want "not Put on the path falling off the end"
+	use(*b)
+}
+
+func transferInline() *[]byte {
+	return bufPool.Get().(*[]byte) // ownership moves to the caller
+}
+
+func transferVar() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	prep(b)
+	return b // ownership moves to the caller
+}
+
+var shared *[]byte
+
+func escapedPut() {
+	b := bufPool.Get().(*[]byte)
+	shared = b
+	bufPool.Put(b) // want "escaped this function"
+}
+
+func discardedInline() {
+	use(*bufPool.Get().(*[]byte)) // want "used inline"
+}
+
+func switchBalanced(mode int) {
+	b := bufPool.Get().(*[]byte)
+	switch mode {
+	case 0:
+		bufPool.Put(b)
+	default:
+		bufPool.Put(b)
+	}
+}

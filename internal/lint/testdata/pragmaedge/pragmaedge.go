@@ -1,0 +1,41 @@
+// Fixture for pragma edge cases: several pragmas sharing one line,
+// pragmas inside /* block */ comments (first and inner lines), and a
+// doc-comment pragma covering its whole declaration. Expectations are
+// asserted inline in TestPragmaEdgeCases because want comments cannot
+// share a line with the pragma they describe.
+package webgen
+
+import "time"
+
+func multiOnOneLine(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		//lint:allow maporder fixture: order-insensitive sink //lint:allow determinism fixture: same line, second pragma
+		out = append(out, k+time.Now().String())
+	}
+	return out
+}
+
+func blockComment() time.Time {
+	/* lint:allow determinism fixture: single-line block pragma */
+	return time.Now()
+}
+
+func blockInner() time.Time {
+	/*
+	   the justification can sit in prose around the marker line;
+	   lint:allow determinism fixture: inner line of a block comment
+	*/
+	return time.Now()
+}
+
+//lint:allow determinism fixture: doc pragma covers the whole declaration
+func declCovered() (time.Time, time.Time) {
+	a := time.Now()
+	b := time.Now()
+	return a, b
+}
+
+func afterDecl() time.Time {
+	return time.Now() // unsuppressed control: the doc pragma must not leak here
+}

@@ -93,9 +93,9 @@ type Server struct {
 	ln       net.Listener
 	srv      *http.Server
 	mu       sync.Mutex
-	socks    map[*wsproto.Conn]struct{}
-	wsActive int
-	closed   bool
+	socks    map[*wsproto.Conn]struct{} // guarded by mu
+	wsActive int                        // guarded by mu
+	closed   bool                       // guarded by mu
 }
 
 // Start launches the server on an ephemeral loopback port.

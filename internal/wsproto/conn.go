@@ -60,7 +60,7 @@ type Conn struct {
 	rng      *rand.Rand
 
 	writeMu sync.Mutex
-	closed  bool
+	closed  bool // guarded by writeMu
 	// wbuf is the write-path scratch (header + masked/coalesced
 	// payload), guarded by writeMu and reused across frames so the
 	// steady-state write path performs zero allocations.
@@ -85,7 +85,7 @@ type Conn struct {
 
 	// closeSent records that we already emitted a close frame.
 	closeSentMu sync.Mutex
-	closeSent   bool
+	closeSent   bool // guarded by closeSentMu
 
 	// Subprotocol is the agreed subprotocol ("" if none).
 	Subprotocol string
@@ -98,6 +98,7 @@ type Conn struct {
 
 func newConn(c net.Conn, br *bufio.Reader, isClient bool, rng *rand.Rand) *Conn {
 	if br == nil {
+		//lint:allow deadline constructor performs no I/O; Accept/Dial and ReadMessage set deadlines before every read
 		br = bufio.NewReader(c)
 	}
 	if rng == nil {
@@ -299,6 +300,8 @@ func (c *Conn) readHeader() (fin bool, op Opcode, plen int64, masked bool, key [
 // this Conn. Callers that retain the bytes past that point must copy
 // them first (DESIGN.md §13 documents the rule). This is what makes the
 // steady-state read path allocation-free.
+//
+//lint:connowned
 func (c *Conn) ReadMessage() (Opcode, []byte, error) {
 	c.readMu.Lock()
 	defer c.readMu.Unlock()

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/textproto"
+	"sort"
 	"strings"
 
 	"repro/internal/urlutil"
@@ -86,7 +87,16 @@ func writeClientHandshake(w *bufio.Writer, u *urlutil.URL, key string, extra htt
 	fmt.Fprintf(w, "Connection: Upgrade\r\n")
 	fmt.Fprintf(w, "Sec-WebSocket-Key: %s\r\n", key)
 	fmt.Fprintf(w, "Sec-WebSocket-Version: 13\r\n")
-	for k, vs := range extra {
+	// Emit extra headers in sorted order: map iteration order would
+	// make the handshake request bytes differ run to run, breaking the
+	// byte-identical recorded-crawl invariant.
+	keys := make([]string, 0, len(extra))
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		vs := extra[k]
 		ck := textproto.CanonicalMIMEHeaderKey(k)
 		switch ck {
 		case "Host", "Upgrade", "Connection", "Sec-Websocket-Key", "Sec-Websocket-Version":
