@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos fabric-soak load-soak bench-obs bench-match bench-match-smoke bench-fabric bench-fabric-smoke bench-ws bench-ws-smoke bench-lint bench-lint-smoke lint fmt-check ci clean
+.PHONY: all build vet test race chaos fabric-soak load-soak bench-obs bench-match bench-match-smoke bench-fabric bench-fabric-smoke bench-ws bench-ws-smoke bench-lint bench-lint-smoke bench-crawl bench-crawl-smoke lint fmt-check ci clean
 
 all: ci
 
@@ -110,11 +110,24 @@ bench-lint:
 bench-lint-smoke:
 	$(GO) test ./internal/lint -bench Lint -benchtime 1x -run '^$$'
 
+# End-to-end crawl benchmark (OPERATIONS.md "Crawl capacity"): a fixed
+# seeded synthetic web crawled through the full pipeline, reporting
+# pages/sec, ns/page, B/page, and allocs/page for both the shipping
+# (pooled + group-committed) configuration and the retained reference
+# path. BENCH_crawl.json records the accepted baseline.
+bench-crawl:
+	$(GO) test ./internal/core -bench CrawlPipeline -benchtime 3x -benchmem -run '^$$'
+
+# One-iteration smoke for ci: proves both pipeline configurations still
+# crawl the bench world end to end, without paying full -benchtime.
+bench-crawl-smoke:
+	$(GO) test ./internal/core -bench CrawlPipeline -benchtime 1x -run '^$$'
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt-check vet build lint test race bench-match-smoke bench-fabric-smoke bench-ws-smoke bench-lint-smoke
+ci: fmt-check vet build lint test race bench-match-smoke bench-fabric-smoke bench-ws-smoke bench-lint-smoke bench-crawl-smoke
 
 clean:
 	$(GO) clean ./...

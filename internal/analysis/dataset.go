@@ -153,6 +153,10 @@ func NewCollector(name, era string, index int, lab *labeler.Labeler) *Collector 
 	}
 }
 
+// SetPooled switches the collector's recorder onto the pooled scratch
+// path (see Recorder.Pooled). Call before the crawl starts.
+func (c *Collector) SetPooled(pooled bool) { c.rec.Pooled = pooled }
+
 // OnPage processes one crawled page: builds its spool record, feeds the
 // labeler deltas, and folds the record into the dataset under
 // construction.
@@ -195,7 +199,7 @@ func (c *Collector) OnPage(site crawler.Site, pageURL string, res *browser.PageR
 
 // socketRecord converts one socket node into a compact record,
 // classifying sent and received content.
-func (c *Recorder) socketRecord(site crawler.Site, pageURL, pageHost string, ws *inclusion.Node) SocketRecord {
+func (c *Recorder) socketRecord(sc *recordScratch, site crawler.Site, pageURL, pageHost string, ws *inclusion.Node) SocketRecord {
 	rec := SocketRecord{
 		Site:            site.Domain,
 		Rank:            site.Rank,
@@ -208,7 +212,13 @@ func (c *Recorder) socketRecord(site crawler.Site, pageURL, pageHost string, ws 
 		FramesSent:      len(ws.Sent),
 		FramesRecv:      len(ws.Received),
 	}
-	chain := ws.Chain()
+	var chain []*inclusion.Node
+	if sc != nil {
+		sc.chain = ws.AppendChain(sc.chain[:0])
+		chain = sc.chain
+	} else {
+		chain = ws.Chain()
+	}
 	for _, n := range chain[:len(chain)-1] {
 		rec.ChainDomains = append(rec.ChainDomains, c.Label.MapDomain(n.Host()))
 		rec.ChainURLs = append(rec.ChainURLs, n.URL)
@@ -218,14 +228,29 @@ func (c *Recorder) socketRecord(site crawler.Site, pageURL, pageHost string, ws 
 	// chain up to, but not including, the socket itself.
 	rec.ChainBlocked = c.Label.MatchChain(chain[:len(chain)-1], pageHost)
 
-	// Sent items: handshake headers plus every data frame.
-	itemSets := [][]string{content.DetectSentHeaders(ws.HandshakeHeader)}
-	for _, f := range ws.Sent {
-		itemSets = append(itemSets, content.DetectSent(f.Payload))
+	// Sent items: handshake headers plus every data frame, flattened
+	// into one scratch slice — MergeItems is a pure union, so flattening
+	// the per-frame sets first cannot change its output.
+	var flat []string
+	if sc != nil {
+		flat = sc.items[:0]
 	}
-	rec.SentItems = content.MergeItems(itemSets...)
+	flat = content.AppendSentHeaders(flat, ws.HandshakeHeader)
+	for _, f := range ws.Sent {
+		flat = content.AppendSent(flat, f.Payload)
+	}
+	if sc != nil {
+		sc.items = flat
+	}
+	// MergeItems allocates the result fresh: rec retains it, so it must
+	// never alias the pooled scratch.
+	rec.SentItems = content.MergeItems(flat)
 
 	recvSeen := map[string]bool{}
+	if sc != nil {
+		clear(sc.recvSeen)
+		recvSeen = sc.recvSeen
+	}
 	for _, f := range ws.Received {
 		cls := content.ClassifyReceived(f.Payload)
 		if cls != "" && !recvSeen[cls] {
@@ -244,9 +269,18 @@ func (c *Recorder) socketRecord(site crawler.Site, pageURL, pageHost string, ws 
 }
 
 // httpObservations aggregates one tree's HTTP requests per domain.
-func (c *Recorder) httpObservations(tree *inclusion.Tree, pageHost string) map[string]*DomainTraffic {
+func (c *Recorder) httpObservations(sc *recordScratch, tree *inclusion.Tree, pageHost string) map[string]*DomainTraffic {
 	out := map[string]*DomainTraffic{}
-	for _, req := range tree.Requests() {
+	var reqs []*inclusion.Node
+	if sc != nil {
+		// The sockets listing in RecordPage is done with sc.nodes by the
+		// time httpObservations runs, so the scratch can be recycled.
+		sc.nodes = tree.AppendKind(sc.nodes[:0], inclusion.KindRequest)
+		reqs = sc.nodes
+	} else {
+		reqs = tree.Requests()
+	}
+	for _, req := range reqs {
 		dom := c.Label.MapDomain(hostOfURL(req.URL))
 		if dom == "" {
 			continue
@@ -257,19 +291,43 @@ func (c *Recorder) httpObservations(tree *inclusion.Tree, pageHost string) map[s
 			out[dom] = t
 		}
 		t.Requests++
-		items := content.MergeItems(
-			content.DetectSentHeaders(req.Header),
-			content.DetectSent(req.ReqBody),
-		)
-		for _, item := range items {
-			t.SentItems[item]++
+		// The per-request items only feed counts in t.SentItems, so the
+		// MergeItems union can be replaced by an in-place duplicate scan
+		// over the (tiny) flattened set: each distinct item increments
+		// its count exactly once, same as counting the merged set.
+		var items []string
+		if sc != nil {
+			items = sc.items[:0]
+		}
+		items = content.AppendSentHeaders(items, req.Header)
+		items = content.AppendSent(items, req.ReqBody)
+		if sc != nil {
+			sc.items = items
+		}
+		for i, item := range items {
+			dup := false
+			for _, prev := range items[:i] {
+				if prev == item {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				t.SentItems[item]++
+			}
 		}
 		if cls := classifyHTTPResponse(req); cls != "" {
 			t.RecvClasses[cls]++
 		}
 		// As with sockets: a chain counts as blockable when a script
 		// *leading to* the resource matches, not the leaf itself.
-		chain := req.Chain()
+		var chain []*inclusion.Node
+		if sc != nil {
+			sc.chain = req.AppendChain(sc.chain[:0])
+			chain = sc.chain
+		} else {
+			chain = req.Chain()
+		}
 		if c.Label.MatchChain(chain[:len(chain)-1], pageHost) {
 			t.ChainsBlocked++
 		}

@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 
 	"repro/internal/browser"
 	"repro/internal/crawler"
@@ -79,15 +80,58 @@ func DecodeSpoolLine(line []byte) (*PageRecord, error) {
 // influencing the records produced.
 type Recorder struct {
 	Label *labeler.Labeler
+
+	// Pooled enables per-page scratch reuse: inclusion trees come from
+	// a pooled arena Builder, and chain walks, node listings, and
+	// content-item scratch are recycled across pages. The records
+	// produced are identical to the zero-value (seed) path — they never
+	// alias pooled memory — as the pipeline differential test proves.
+	Pooled bool
+
+	// scratch pools *recordScratch; every RecordPage Get is paired with
+	// a deferred Put, and nothing from the scratch escapes into the
+	// returned PageRecord.
+	scratch sync.Pool
 }
+
+// recordScratch is the per-page working state RecordPage recycles when
+// the Recorder runs pooled. The inclusion tree it builds is valid only
+// until the next RecordPage that reuses this scratch.
+type recordScratch struct {
+	builder  *inclusion.Builder
+	nodes    []*inclusion.Node
+	chain    []*inclusion.Node
+	items    []string
+	recvSeen map[string]bool
+}
+
+func (r *Recorder) getScratch() *recordScratch {
+	if sc, ok := r.scratch.Get().(*recordScratch); ok {
+		return sc
+	}
+	return &recordScratch{builder: inclusion.NewBuilder(), recvSeen: map[string]bool{}}
+}
+
+func (r *Recorder) putScratch(sc *recordScratch) { r.scratch.Put(sc) }
 
 // NewRecorder builds a recorder over a configured labeler.
 func NewRecorder(lab *labeler.Labeler) *Recorder { return &Recorder{Label: lab} }
 
 // RecordPage builds the spool record for one crawled page.
 func (r *Recorder) RecordPage(site crawler.Site, pageURL string, res *browser.PageResult) (*PageRecord, error) {
+	var sc *recordScratch
+	if r.Pooled {
+		sc = r.getScratch()
+		defer r.putScratch(sc)
+	}
 	treeSpan := obs.StartSpan(obs.StageTree)
-	tree, err := inclusion.Build(res.Trace)
+	var tree *inclusion.Tree
+	var err error
+	if sc != nil {
+		tree, err = sc.builder.Build(res.Trace)
+	} else {
+		tree, err = inclusion.Build(res.Trace)
+	}
 	if err != nil {
 		// Failed builds are not a tree-stage sample; the span is dropped.
 		return nil, fmt.Errorf("analysis: build inclusion tree for %s: %w", pageURL, err)
@@ -102,10 +146,17 @@ func (r *Recorder) RecordPage(site crawler.Site, pageURL string, res *browser.Pa
 		pageHost = u.Host
 	}
 	rec := &PageRecord{Site: site.Domain, Rank: site.Rank, PageURL: pageURL}
-	for _, ws := range tree.Sockets() {
-		rec.Sockets = append(rec.Sockets, r.socketRecord(site, pageURL, pageHost, ws))
+	var sockets []*inclusion.Node
+	if sc != nil {
+		sc.nodes = tree.AppendKind(sc.nodes[:0], inclusion.KindWebSocket)
+		sockets = sc.nodes
+	} else {
+		sockets = tree.Sockets()
 	}
-	rec.HTTP = r.httpObservations(tree, pageHost)
+	for _, ws := range sockets {
+		rec.Sockets = append(rec.Sockets, r.socketRecord(sc, site, pageURL, pageHost, ws))
+	}
+	rec.HTTP = r.httpObservations(sc, tree, pageHost)
 	if len(aa) > 0 {
 		rec.AAObs = aa
 	}
@@ -156,8 +207,12 @@ func MergeShards(meta DatasetMeta, paths []string) (*Dataset, MergeStats, error)
 	mergeSpan := obs.StartSpan(obs.StageMerge)
 	agg := newShardMerger(meta)
 	stats := MergeStats{Shards: len(paths)}
+	// One scan buffer serves every shard: bufio.Scanner never hands the
+	// buffer out past Scan, so sequential shard merges can share it
+	// instead of re-allocating 64 KiB per file.
+	buf := make([]byte, 64*1024)
 	for _, path := range paths {
-		if err := mergeShardFile(path, agg, &stats); err != nil {
+		if err := mergeShardFile(path, buf, agg, &stats); err != nil {
 			return nil, stats, err
 		}
 	}
@@ -171,14 +226,14 @@ func MergeShards(meta DatasetMeta, paths []string) (*Dataset, MergeStats, error)
 // mergeShardFile streams one shard into the merger. A malformed final
 // line (crash mid-write) is tolerated; malformed interior lines are
 // corruption and fail the merge.
-func mergeShardFile(path string, agg *shardMerger, stats *MergeStats) error {
+func mergeShardFile(path string, buf []byte, agg *shardMerger, stats *MergeStats) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("analysis: open shard: %w", err)
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
+	sc.Buffer(buf, 64*1024*1024)
 	var pending error
 	line := 0
 	for sc.Scan() {
@@ -208,6 +263,54 @@ func mergeShardFile(path string, agg *shardMerger, stats *MergeStats) error {
 		stats.Truncated++
 	}
 	return nil
+}
+
+// Folder folds PageRecords into a Dataset incrementally as pages
+// arrive, sparing the finalize step a full decode pass over the spool.
+// It applies exactly the same aggregation and (site, pageURL)
+// deduplication as MergeShards, so a crawl folded live produces a
+// Dataset byte-identical to one merged from its spool shards — the
+// records for a given page are deterministic, and finalize imposes the
+// canonical order regardless of arrival order. Fold is safe for
+// concurrent use; Finalize must only be called once all folds are done.
+type Folder struct {
+	mu  sync.Mutex
+	agg *shardMerger // guarded by mu
+	n   int          // guarded by mu; distinct pages folded
+	dup int          // guarded by mu; duplicates skipped
+}
+
+// NewFolder starts an empty incremental fold for one dataset.
+func NewFolder(meta DatasetMeta) *Folder {
+	return &Folder{agg: newShardMerger(meta)}
+}
+
+// Fold merges one page record, reporting false for duplicates. The
+// record's maps and socket slices are retained by reference; callers
+// must not mutate a record after folding it.
+func (f *Folder) Fold(rec *PageRecord) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.agg.fold(rec) {
+		f.n++
+		return true
+	}
+	f.dup++
+	return false
+}
+
+// Finalize assembles the canonical Dataset and the fold's merge stats.
+// It is the merge stage of a live-folded crawl and reports itself as
+// such (stage.merge, merge.pages, merge.duplicates).
+func (f *Folder) Finalize() (*Dataset, MergeStats) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	span := obs.StartSpan(obs.StageMerge)
+	ds := f.agg.finalize()
+	span.End()
+	obs.MergePages.Add(int64(f.n))
+	obs.MergeDuplicates.Add(int64(f.dup))
+	return ds, MergeStats{Pages: f.n, Duplicates: f.dup}
 }
 
 // socketSortKey orders merged socket records canonically: by site rank,

@@ -64,8 +64,16 @@ type Config struct {
 	// Seed drives the client profile and masking keys.
 	Seed int64
 	// HTTPClient performs resource fetches; it must route virtual hosts
-	// (see webserver.Client). Required.
+	// (see webserver.Client). Required unless Fetch is set.
 	HTTPClient *http.Client
+	// Fetch, when set, performs resource fetches in-process instead of
+	// through HTTPClient (see webserver.Fetch). The function must be
+	// observationally identical to a wire fetch — same status, content
+	// type, and body bytes — which internal/core's pipeline differential
+	// test proves for the webserver implementation. The returned body
+	// may alias server-owned bytes and must be treated as read-only;
+	// the browser never mutates response bodies.
+	Fetch func(u *urlutil.URL, postBody []byte) (status int, contentType string, body []byte, err error)
 	// ResolveWS maps host:port to a dial address for WebSockets
 	// (see webserver.Resolver). Required for pages that open sockets.
 	ResolveWS func(hostport string) string
@@ -95,6 +103,18 @@ type Config struct {
 	// RNG, so enabling retries does not perturb fault-free crawls.
 	DialRetries      int
 	DialRetryBackoff time.Duration
+
+	// ReuseScratch reuses per-page storage across Visit calls on this
+	// browser: the trace and its event slab, the ID allocator, the
+	// request-header maps, and the link scratch. Page results are
+	// byte-identical to the default fresh-allocation path (the pipeline
+	// differential test in internal/core proves it), but ownership
+	// tightens: the PageResult returned by Visit — its Trace, events,
+	// bodies, and Links — is valid only until the next Visit on the
+	// same Browser. The crawler honors that window (links are copied
+	// and OnPage completes before the next visit); callers that retain
+	// results across visits must leave this off.
+	ReuseScratch bool
 }
 
 // Browser is one browser instance (one synthetic user). It is not safe
@@ -114,6 +134,59 @@ type Browser struct {
 	// actually fails, keeping fault-free crawls byte-identical.
 	dialSeq    int64
 	backoffRng *rand.Rand
+
+	// scratch is the reused per-page storage, non-nil only under
+	// Config.ReuseScratch. Browsers are single-visit-at-a-time, so the
+	// scratch needs no lock.
+	scratch *visitScratch
+}
+
+// visitScratch is one browser's reusable per-page storage. Everything
+// here is recycled by begin() at the top of each Visit; see
+// Config.ReuseScratch for the ownership contract.
+type visitScratch struct {
+	trace  devtools.Trace
+	bus    *devtools.Bus
+	alloc  devtools.IDAllocator
+	load   pageLoad
+	result PageResult
+	seen   map[string]bool // extractLinks dedup, cleared per page
+
+	// headerMaps is the arena of request-header maps handed out this
+	// page; maps are retained inside trace events until the next page's
+	// begin(), then cleared and reused.
+	headerMaps []map[string]string
+	headerUsed int
+}
+
+// begin recycles the scratch for a new page load and returns its
+// embedded pageLoad, wired to the reused trace, bus, and allocator.
+func (s *visitScratch) begin(b *Browser, ctx context.Context, rawURL string, u *urlutil.URL) *pageLoad {
+	s.trace.Reset()
+	s.alloc.Reset()
+	s.headerUsed = 0
+	clear(s.seen)
+	links := s.result.Links
+	clear(links)
+	s.result = PageResult{URL: rawURL, Trace: &s.trace, Links: links[:0]}
+	s.load = pageLoad{b: b, ctx: ctx, bus: s.bus, alloc: &s.alloc, result: &s.result, pageURL: u}
+	return &s.load
+}
+
+// header hands out a request-header map: a cleared arena map under
+// ReuseScratch, a fresh one otherwise.
+func (b *Browser) header() map[string]string {
+	s := b.scratch
+	if s == nil {
+		return make(map[string]string, 3)
+	}
+	if s.headerUsed == len(s.headerMaps) {
+		s.headerMaps = append(s.headerMaps, make(map[string]string, 3))
+	}
+	m := s.headerMaps[s.headerUsed]
+	s.headerUsed++
+	clear(m)
+	return m
 }
 
 // guardEntry pairs a SocketGuard with its extension name for blocked
@@ -147,6 +220,10 @@ func New(cfg Config, exts ...Extension) *Browser {
 		cookies: map[string]string{},
 		backoffRng: rand.New(rand.NewSource(
 			faultnet.DeriveSeed(cfg.FaultSeed, cfg.Seed, 0x7e77))),
+	}
+	if cfg.ReuseScratch {
+		b.scratch = &visitScratch{bus: devtools.NewBus(), seen: map[string]bool{}}
+		b.scratch.trace.Attach(b.scratch.bus)
 	}
 	b.cfg.FollowAdRefs = true
 	for _, ext := range exts {
@@ -198,19 +275,24 @@ func (b *Browser) Visit(ctx context.Context, rawURL string) (*PageResult, error)
 	if err != nil {
 		return nil, err
 	}
-	trace := devtools.NewTrace()
-	bus := devtools.NewBus()
-	trace.Attach(bus)
-	load := &pageLoad{
-		b:       b,
-		ctx:     ctx,
-		bus:     bus,
-		alloc:   &devtools.IDAllocator{},
-		result:  &PageResult{URL: rawURL, Trace: trace},
-		pageURL: u,
+	var load *pageLoad
+	if b.scratch != nil {
+		load = b.scratch.begin(b, ctx, rawURL, u)
+	} else {
+		trace := devtools.NewTrace()
+		bus := devtools.NewBus()
+		trace.Attach(bus)
+		load = &pageLoad{
+			b:       b,
+			ctx:     ctx,
+			bus:     bus,
+			alloc:   &devtools.IDAllocator{},
+			result:  &PageResult{URL: rawURL, Trace: trace},
+			pageURL: u,
+		}
 	}
 	frameID := load.alloc.NextFrame()
-	bus.Emit(devtools.FrameNavigated{FrameID: frameID, URL: rawURL, Initiator: devtools.ParserInitiator(frameID)})
+	load.bus.Emit(devtools.FrameNavigated{FrameID: frameID, URL: rawURL, Initiator: devtools.ParserInitiator(frameID)})
 
 	doc, ok := load.fetchDocument(frameID, u, devtools.ParserInitiator(frameID))
 	if !ok {
@@ -385,7 +467,8 @@ func (l *pageLoad) request(u *urlutil.URL, typ devtools.ResourceType, frameID de
 	}
 	// Plain subresource loads go to cookieless CDN hosts; only
 	// explicit tracking requests (beacons, sockets) carry cookies.
-	header := map[string]string{"User-Agent": l.b.state.UserAgent}
+	header := l.b.header()
+	header["User-Agent"] = l.b.state.UserAgent
 	if cookie != "" {
 		header["Cookie"] = cookie
 	}
@@ -414,6 +497,9 @@ func (l *pageLoad) request(u *urlutil.URL, typ devtools.ResourceType, frameID de
 }
 
 func (b *Browser) doHTTP(ctx context.Context, u *urlutil.URL, header map[string]string, postBody []byte) (int, string, []byte, error) {
+	if b.cfg.Fetch != nil {
+		return b.cfg.Fetch(u, postBody)
+	}
 	method := http.MethodGet
 	var bodyReader io.Reader
 	if postBody != nil {
@@ -513,10 +599,9 @@ func (l *pageLoad) openWebSocket(frameID devtools.FrameID, op script.Op, init de
 		SocketID: sockID, URL: u.String(), FrameID: frameID,
 		Initiator: init, FirstPartyURL: l.pageURL.String(),
 	})
-	header := map[string]string{
-		"User-Agent": l.b.state.UserAgent,
-		"Origin":     l.pageURL.Origin(),
-	}
+	header := l.b.header()
+	header["User-Agent"] = l.b.state.UserAgent
+	header["Origin"] = l.pageURL.Origin()
 	if op.SendCookie {
 		header["Cookie"] = l.b.cookieFor(u.RegistrableDomain())
 	}
@@ -635,6 +720,9 @@ func (l *pageLoad) dialWebSocket(dialer *wsproto.Dialer, rawURL string) (*wsprot
 // extractLinks collects same-site links from the document.
 func (l *pageLoad) extractLinks(doc *dom.Node) {
 	seen := map[string]bool{}
+	if s := l.b.scratch; s != nil {
+		seen = s.seen // cleared by begin()
+	}
 	for _, a := range doc.GetElementsByTag("a") {
 		href := a.Attr("href")
 		if href == "" {

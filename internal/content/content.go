@@ -78,33 +78,56 @@ var (
 // payload. Binary (non-UTF-8) payloads yield only SentBinary, mirroring
 // the paper's undecodable 1%.
 func DetectSent(data []byte) []string {
+	return AppendSent(nil, data)
+}
+
+// AppendSent is DetectSent with caller-owned storage: detected items are
+// appended to dst, which hot paths reuse across pages to keep the ~30
+// detector calls per page from each allocating a fresh slice. Items and
+// their order are identical to DetectSent.
+func AppendSent(dst []string, data []byte) []string {
 	if len(data) == 0 {
-		return nil
+		return dst
 	}
 	if !utf8.Valid(data) {
-		return []string{SentBinary}
+		return append(dst, SentBinary)
 	}
 	s := string(data)
-	var items []string
-	add := func(item string, re *regexp.Regexp) {
-		if re.MatchString(s) {
-			items = append(items, item)
+	items := dst
+	// Each pattern can only match a payload containing one of a few
+	// literal substrings, so a Contains prescreen skips the regexp
+	// engine (and its backtracking) on the common miss. The literals
+	// are necessary conditions per alternation branch — a payload that
+	// fails all of them cannot match — so detection output is
+	// unchanged.
+	add := func(item string, re *regexp.Regexp, lits ...string) {
+		for _, lit := range lits {
+			if strings.Contains(s, lit) {
+				if re.MatchString(s) {
+					items = append(items, item)
+				}
+				return
+			}
 		}
 	}
-	add(SentUserAgent, reUserAgent)
-	add(SentCookie, reCookie)
-	add(SentIP, reIP)
-	add(SentUserID, reUserID)
-	add(SentDevice, reDevice)
-	add(SentScreen, reScreen)
-	add(SentBrowser, reBrowser)
-	add(SentViewport, reViewport)
-	add(SentScroll, reScroll)
-	add(SentOrientation, reOrient)
-	add(SentFirstSeen, reFirstSeen)
-	add(SentResolution, reResol)
-	add(SentLanguage, reLanguage)
-	if m := reDOMField.FindStringSubmatch(s); m != nil {
+	add(SentUserAgent, reUserAgent, "Mozilla/", "ua=")
+	add(SentCookie, reCookie, "cookie=", ";")
+	add(SentIP, reIP, "ip=", "addr=")
+	add(SentUserID, reUserID, "id=")
+	add(SentDevice, reDevice, "device")
+	add(SentScreen, reScreen, "screen=")
+	add(SentBrowser, reBrowser, "browser")
+	add(SentViewport, reViewport, "viewport=")
+	add(SentScroll, reScroll, "scroll")
+	add(SentOrientation, reOrient, "orientation=")
+	add(SentFirstSeen, reFirstSeen, "first", "created_at=")
+	add(SentResolution, reResol, "resolution=")
+	add(SentLanguage, reLanguage, "lang", "locale=")
+	if !strings.Contains(s, "dom=") {
+		if strings.Contains(s, "<") && looksLikeFullDocument(s) {
+			items = append(items, SentDOM)
+		}
+	} else if m := reDOMField.FindStringSubmatch(s); m != nil {
 		if decoded, err := base64.StdEncoding.DecodeString(m[2]); err == nil && looksLikeHTML(decoded) {
 			items = append(items, SentDOM)
 		}
@@ -118,6 +141,13 @@ func DetectSent(data []byte) []string {
 // (the reason Table 5 reports User Agent at 100%: every handshake carries
 // one).
 func DetectSentHeaders(header map[string]string) []string {
+	return AppendSentHeaders(nil, header)
+}
+
+// AppendSentHeaders is DetectSentHeaders with caller-owned storage,
+// mirroring AppendSent: detected items append to dst in the same fixed
+// Table 5 order.
+func AppendSentHeaders(dst []string, header map[string]string) []string {
 	// Scan the map into flags first, then emit in fixed Table 5 order:
 	// appending inside the range would make the item order depend on
 	// map iteration when several headers match.
@@ -135,17 +165,16 @@ func DetectSentHeaders(header map[string]string) []string {
 			lang = true
 		}
 	}
-	var items []string
 	if ua {
-		items = append(items, SentUserAgent)
+		dst = append(dst, SentUserAgent)
 	}
 	if cookie {
-		items = append(items, SentCookie)
+		dst = append(dst, SentCookie)
 	}
 	if lang {
-		items = append(items, SentLanguage)
+		dst = append(dst, SentLanguage)
 	}
-	return items
+	return dst
 }
 
 // MergeItems unions item slices, preserving Table 5 order.

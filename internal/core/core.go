@@ -72,6 +72,16 @@ type Options struct {
 	// orchestrator (internal/dispatch): lease-backed queue, retries,
 	// checkpoint/resume, and sharded spooling.
 	Dispatch *DispatchOptions
+	// ReferencePipeline routes the crawl through the retained seed-path
+	// pipeline: wire HTTP fetches through the full TCP + net/http
+	// stack, per-page allocation of traces/trees/scratch, and a spool
+	// flush per record. The default (false) is the optimized pipeline —
+	// in-process fetches, pooled per-page storage, batched spool group
+	// commit — which produces a byte-identical dataset; the reference
+	// path is retained as the differential oracle proving that
+	// (TestPipelineDifferential), the same pattern filterlist uses for
+	// its reference matcher.
+	ReferencePipeline bool
 	// FaultProfile, when non-empty, names a faultnet profile (see
 	// faultnet.Names) injected on both sides of the wire: uniformly on
 	// the web server's listener and per-socket on every browser's
@@ -190,6 +200,7 @@ func RunCrawl(ctx context.Context, opts Options, spec CrawlSpec) (*CrawlResult, 
 	}
 
 	collector := analysis.NewCollector(spec.Name, spec.Era.String(), spec.CrawlIndex, lab)
+	collector.SetPooled(!opts.ReferencePipeline)
 	cfg := crawler.Config{
 		Workers:          opts.Workers,
 		PagesPerSite:     opts.PagesPerSite,
@@ -200,12 +211,9 @@ func RunCrawl(ctx context.Context, opts Options, spec CrawlSpec) (*CrawlResult, 
 			if opts.Extensions != nil {
 				exts = opts.Extensions(spec)
 			}
-			return browser.New(applyFault(browser.Config{
-				Version:    spec.BrowserVersion,
-				Seed:       opts.Seed + int64(spec.CrawlIndex)*1000 + int64(worker),
-				HTTPClient: server.Client(),
-				ResolveWS:  server.Resolver(),
-			}, fault, faultSeed), exts...)
+			return browser.New(browserConfig(opts, server,
+				spec.BrowserVersion, opts.Seed+int64(spec.CrawlIndex)*1000+int64(worker),
+				fault, faultSeed), exts...)
 		},
 		OnPage: collector.OnPage,
 	}
@@ -240,14 +248,13 @@ func runCrawlDispatch(ctx context.Context, opts Options, spec CrawlSpec, server 
 			if opts.Extensions != nil {
 				exts = opts.Extensions(spec)
 			}
-			return browser.New(applyFault(browser.Config{
-				Version:    spec.BrowserVersion,
-				Seed:       crawler.SiteSeed(crawlSeed, site.Domain),
-				HTTPClient: server.Client(),
-				ResolveWS:  server.Resolver(),
-			}, fault, faultSeed), exts...)
+			return browser.New(browserConfig(opts, server,
+				spec.BrowserVersion, crawler.SiteSeed(crawlSeed, site.Domain),
+				fault, faultSeed), exts...)
 		},
-		Recorder:        analysis.NewRecorder(lab),
+		Recorder:        &analysis.Recorder{Label: lab, Pooled: !opts.ReferencePipeline},
+		Batch:           spoolBatch(opts),
+		FoldLive:        !opts.ReferencePipeline,
 		SpoolDir:        d.spoolDir(spec),
 		NumShards:       d.NumShards,
 		CheckpointPath:  d.checkpointPath(spec),
@@ -260,6 +267,35 @@ func runCrawlDispatch(ctx context.Context, opts Options, spec CrawlSpec, server 
 		return nil, fmt.Errorf("core: crawl %q: %w", spec.Name, err)
 	}
 	return &CrawlResult{Spec: spec, Dataset: res.Dataset, Stats: res.Stats, Dispatch: res}, nil
+}
+
+// spoolBatch picks the spool group-commit policy: 64-page / 256 KiB
+// groups on the optimized pipeline, per-record flush (the zero value)
+// on the reference pipeline.
+func spoolBatch(opts Options) dispatch.BatchPolicy {
+	if opts.ReferencePipeline {
+		return dispatch.BatchPolicy{}
+	}
+	return dispatch.BatchPolicy{Pages: 64, Bytes: 256 * 1024}
+}
+
+// browserConfig assembles one worker's browser config, selecting the
+// fetch path: in-process direct fetch (webserver.Fetch) on the
+// optimized pipeline, the wire client on the reference pipeline — and
+// always the wire under fault injection, since bypassing the wire would
+// bypass the injected faults.
+func browserConfig(opts Options, server *webserver.Server, version int, seed int64, fault faultnet.Profile, faultSeed int64) browser.Config {
+	cfg := browser.Config{
+		Version:      version,
+		Seed:         seed,
+		HTTPClient:   server.Client(),
+		ResolveWS:    server.Resolver(),
+		ReuseScratch: !opts.ReferencePipeline,
+	}
+	if !opts.ReferencePipeline && !fault.Enabled() {
+		cfg.Fetch = server.Fetch
+	}
+	return applyFault(cfg, fault, faultSeed)
 }
 
 // applyFault arms a browser config for a degraded crawl: client-side

@@ -81,6 +81,7 @@ func TestCrawlPopulatesMetrics(t *testing.T) {
 	}
 	for _, name := range []string{obs.MStageFetch, obs.MStageParse, obs.MStageTree,
 		obs.MStageLabel, obs.MStageSpool, obs.MStageCheckpoint, obs.MStageMerge,
+		obs.MCrawlPage, obs.MCrawlVisit, obs.MCrawlRecord, obs.MCrawlCommit,
 		obs.MMatchEval} {
 		if after.Hists[name].Count <= before.Hists[name].Count {
 			t.Errorf("histogram %s has no new observations", name)

@@ -268,6 +268,8 @@ func CrawlSite(ctx context.Context, b *browser.Browser, site Site, cfg Config, s
 	rng := siteRand(cfg.Seed, site.Domain)
 
 	home := "http://" + site.Domain + "/"
+	pageSpan := obs.StartSpan(obs.CrawlPage)
+	visitSpan := obs.StartSpan(obs.CrawlVisit)
 	res, verr := b.Visit(ctx, home)
 	if ctx.Err() != nil {
 		// A visit that overlapped cancellation may have fetched only
@@ -283,6 +285,7 @@ func CrawlSite(ctx context.Context, b *browser.Browser, site Site, cfg Config, s
 		obs.CrawlSiteErrors.Inc()
 		return 0, &SiteError{Site: site.Domain, Err: verr}
 	}
+	visitSpan.End()
 	atomic.AddInt64(&stats.Sites, 1)
 	atomic.AddInt64(&stats.Pages, 1)
 	obs.CrawlSites.Inc()
@@ -290,6 +293,7 @@ func CrawlSite(ctx context.Context, b *browser.Browser, site Site, cfg Config, s
 	if cfg.OnPage != nil {
 		cfg.OnPage(site, home, res)
 	}
+	pageSpan.End()
 	pages = 1
 	visited := map[string]bool{home: true}
 
@@ -335,6 +339,8 @@ func CrawlSite(ctx context.Context, b *browser.Browser, site Site, cfg Config, s
 }
 
 func visit(ctx context.Context, b *browser.Browser, site Site, url string, cfg Config, stats *Stats) *browser.PageResult {
+	pageSpan := obs.StartSpan(obs.CrawlPage)
+	visitSpan := obs.StartSpan(obs.CrawlVisit)
 	res, err := b.Visit(ctx, url)
 	if ctx.Err() != nil {
 		// Discard pages whose visit overlapped cancellation: they may be
@@ -346,11 +352,13 @@ func visit(ctx context.Context, b *browser.Browser, site Site, url string, cfg C
 		obs.CrawlPageErrors.Inc()
 		return nil
 	}
+	visitSpan.End()
 	atomic.AddInt64(&stats.Pages, 1)
 	obs.CrawlPages.Inc()
 	if cfg.OnPage != nil {
 		cfg.OnPage(site, url, res)
 	}
+	pageSpan.End()
 	return res
 }
 

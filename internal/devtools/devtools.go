@@ -16,6 +16,7 @@ package devtools
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 )
 
@@ -255,13 +256,32 @@ func (b *Bus) Emit(ev Event) {
 
 // Trace is an ordered event log. Attach to a Bus to record a page load,
 // then replay into the inclusion-tree builder or serialize to JSON.
+//
+// A Trace may be reused across page loads via Reset: the event slab and
+// the MarshalJSON envelope scratch are retained, so steady-state
+// recording appends into storage allocated by earlier pages. Reset
+// invalidates everything previously reachable through Events — callers
+// that reuse traces own the ordering between consumers finishing and
+// the next Reset (see browser.Config.ReuseScratch).
 type Trace struct {
 	mu     sync.Mutex
 	Events []Event
+
+	// envs is MarshalJSON's reusable envelope scratch; guarded by mu.
+	envs []envelope
 }
 
 // NewTrace returns an empty trace.
 func NewTrace() *Trace { return &Trace{} }
+
+// Reset clears the trace for the next page load while keeping the event
+// slab (and marshal scratch) for reuse.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	clear(t.Events) // drop references so retired events can be collected
+	t.Events = t.Events[:0]
+}
 
 // Attach subscribes the trace to a bus.
 func (t *Trace) Attach(b *Bus) { b.Subscribe(t.Record) }
@@ -291,7 +311,14 @@ type envelope struct {
 func (t *Trace) MarshalJSON() ([]byte, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	envs := make([]envelope, 0, len(t.Events))
+	if cap(t.envs) < len(t.Events) {
+		t.envs = make([]envelope, 0, len(t.Events))
+	}
+	envs := t.envs[:0]
+	defer func() {
+		clear(envs[:cap(envs)])
+		t.envs = envs[:0]
+	}()
 	for _, ev := range t.Events {
 		params, err := json.Marshal(ev)
 		if err != nil {
@@ -385,40 +412,44 @@ func deref(ev Event) Event {
 	return ev
 }
 
-// IDAllocator hands out sequential typed IDs for one page load.
+// IDAllocator hands out sequential typed IDs for one page load. The
+// rendered IDs ("F1", "S2", "R3", "W4", …) are pinned byte-for-byte by
+// TestIDAllocatorGolden: they appear verbatim in spooled datasets, so
+// the formatting is a compatibility surface.
 type IDAllocator struct {
 	mu                             sync.Mutex
-	frames, scripts, reqs, sockets int
+	frames, scripts, reqs, sockets int64
+	scratch                        [24]byte // guarded by mu; strconv render buffer
+}
+
+// next renders prefix + counter on the reused scratch. Only the final
+// string conversion allocates — that one allocation is the ID itself,
+// which outlives the allocator inside trace events.
+func (a *IDAllocator) next(prefix byte, counter *int64) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	*counter++
+	buf := append(a.scratch[:0], prefix)
+	buf = strconv.AppendInt(buf, *counter, 10)
+	return string(buf)
+}
+
+// Reset rewinds all counters so a reused allocator numbers the next
+// page load from 1 again, like a freshly constructed one.
+func (a *IDAllocator) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.frames, a.scripts, a.reqs, a.sockets = 0, 0, 0, 0
 }
 
 // NextFrame allocates a frame ID.
-func (a *IDAllocator) NextFrame() FrameID {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.frames++
-	return FrameID(fmt.Sprintf("F%d", a.frames))
-}
+func (a *IDAllocator) NextFrame() FrameID { return FrameID(a.next('F', &a.frames)) }
 
 // NextScript allocates a script ID.
-func (a *IDAllocator) NextScript() ScriptID {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.scripts++
-	return ScriptID(fmt.Sprintf("S%d", a.scripts))
-}
+func (a *IDAllocator) NextScript() ScriptID { return ScriptID(a.next('S', &a.scripts)) }
 
 // NextRequest allocates a request ID.
-func (a *IDAllocator) NextRequest() RequestID {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.reqs++
-	return RequestID(fmt.Sprintf("R%d", a.reqs))
-}
+func (a *IDAllocator) NextRequest() RequestID { return RequestID(a.next('R', &a.reqs)) }
 
 // NextSocket allocates a socket ID.
-func (a *IDAllocator) NextSocket() SocketID {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.sockets++
-	return SocketID(fmt.Sprintf("W%d", a.sockets))
-}
+func (a *IDAllocator) NextSocket() SocketID { return SocketID(a.next('W', &a.sockets)) }

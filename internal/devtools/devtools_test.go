@@ -2,6 +2,7 @@ package devtools
 
 import (
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -165,5 +166,60 @@ func TestInitiatorConstructors(t *testing.T) {
 	pi := ParserInitiator("F3")
 	if pi.Type != "parser" || pi.FrameID != "F3" || pi.ScriptID != "" {
 		t.Errorf("ParserInitiator = %+v", pi)
+	}
+}
+
+// TestIDAllocatorGolden byte-pins every allocator prefix against the
+// fmt.Sprintf forms the scratch-buffer renderer replaced. These IDs
+// appear verbatim in spooled datasets: a one-byte drift here silently
+// forks every downstream golden file.
+func TestIDAllocatorGolden(t *testing.T) {
+	var a IDAllocator
+	// Cross the 1→2 and 2→3 digit boundaries plus a deep-page tail.
+	for i := 1; i <= 1500; i++ {
+		want := fmt.Sprintf("F%d", i)
+		if got := string(a.NextFrame()); got != want {
+			t.Fatalf("frame %d: got %q, want %q", i, got, want)
+		}
+		if got, want := string(a.NextScript()), fmt.Sprintf("S%d", i); got != want {
+			t.Fatalf("script %d: got %q, want %q", i, got, want)
+		}
+		if got, want := string(a.NextRequest()), fmt.Sprintf("R%d", i); got != want {
+			t.Fatalf("request %d: got %q, want %q", i, got, want)
+		}
+		if got, want := string(a.NextSocket()), fmt.Sprintf("W%d", i); got != want {
+			t.Fatalf("socket %d: got %q, want %q", i, got, want)
+		}
+	}
+	// Reset restarts every counter at 1, exactly like a fresh allocator.
+	a.Reset()
+	if got := string(a.NextFrame()); got != "F1" {
+		t.Fatalf("after Reset: got %q, want F1", got)
+	}
+}
+
+// TestTraceReuseAllocs pins the steady-state allocation profile of the
+// pooled event path: once a reused Trace's slab has grown to page size,
+// recording an event through an attached Bus allocates at most the
+// event's own boxing — the slab and envelope scratch are reused.
+func TestTraceReuseAllocs(t *testing.T) {
+	bus := NewBus()
+	tr := NewTrace()
+	tr.Attach(bus)
+	ev := WebSocketFrameSent{SocketID: "W1", Payload: []byte("x")}
+	// Warm the slab past any realistic page's event count.
+	for i := 0; i < 4096; i++ {
+		bus.Emit(ev)
+	}
+	tr.Reset()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			bus.Emit(ev)
+		}
+		tr.Reset()
+	})
+	// 64 emits may box 64 interface values but must not regrow the slab.
+	if allocs > 64 {
+		t.Errorf("steady-state trace reuse: %.1f allocs per 64-event page, want <= 64", allocs)
 	}
 }

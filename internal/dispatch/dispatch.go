@@ -100,8 +100,21 @@ type Config struct {
 	// (default 30s). Heartbeats are sent per crawled page.
 	LeaseTTL time.Duration
 
+	// Batch is the spool group-commit policy. The zero value flushes
+	// every record (seed behavior); see BatchPolicy.
+	Batch BatchPolicy
+	// FoldLive folds page records into the dataset in memory as pages
+	// arrive, skipping the decode pass over the spool shards at the
+	// end. The spool is still written (it remains the durable resume
+	// source), and resumed runs always take the shard-merge path, since
+	// pre-existing shard records never pass through a live fold. The
+	// output is identical either way: folding applies the same
+	// aggregation and deduplication as the merge, and finalize imposes
+	// the canonical order.
+	FoldLive bool
+
 	// OnPage, when set, observes every page after its record has been
-	// durably spooled (progress reporting, fault-injection tests).
+	// spooled (progress reporting, fault-injection tests).
 	OnPage func(site crawler.Site, pageURL string)
 	// OnSiteDone, when set, observes every settled site attempt.
 	OnSiteDone func(site crawler.Site, pages int, err error)
@@ -183,7 +196,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	spool, err := OpenSpool(cfg.SpoolDir, cfg.NumShards, resumed)
+	spool, err := OpenSpoolBatch(cfg.SpoolDir, cfg.NumShards, resumed, cfg.Batch)
 	if err != nil {
 		return nil, err
 	}
@@ -199,6 +212,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	o := &orchestrator{cfg: cfg, queue: queue, spool: spool}
+	if cfg.FoldLive && !resumed {
+		o.folder = analysis.NewFolder(cfg.Meta)
+	}
 	stats, crawlErr := crawler.CrawlSource(ctx, o, crawler.Config{
 		Workers:          cfg.Workers,
 		PagesPerSite:     cfg.PagesPerSite,
@@ -223,8 +239,23 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return res, crawlErr
 	}
 
-	// Every append was flushed, so the shards are fully readable here
+	if o.folder != nil {
+		// The dataset was folded live; the spool (flushed below for the
+		// deferred Close's benefit) served only as the durable resume
+		// source this run.
+		if err := spool.Flush(); err != nil {
+			return res, err
+		}
+		res.Dataset, res.Merge = o.folder.Finalize()
+		res.Merge.Shards = spool.NumShards()
+		return res, nil
+	}
+
+	// Flush any group-commit tail so the shards are fully readable here
 	// even before the deferred Close.
+	if err := spool.Flush(); err != nil {
+		return res, err
+	}
 	ds, mstats, err := analysis.MergeShards(cfg.Meta, spool.Paths())
 	if err != nil {
 		return res, err
@@ -237,9 +268,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 // orchestrator implements crawler.Source over the queue and owns the
 // spool + checkpoint plumbing.
 type orchestrator struct {
-	cfg   Config
-	queue *Queue
-	spool *Spooler
+	cfg    Config
+	queue  *Queue
+	spool  *Spooler
+	folder *analysis.Folder // non-nil only on FoldLive fresh runs
 
 	mu          sync.Mutex
 	active      map[string]*Lease
@@ -304,10 +336,13 @@ func (o *orchestrator) browserFor(site crawler.Site) *browser.Browser {
 
 // onPage records, spools, and heartbeats one crawled page.
 func (o *orchestrator) onPage(site crawler.Site, pageURL string, res *browser.PageResult) {
+	recordSpan := obs.StartSpan(obs.CrawlRecord)
 	rec, err := o.cfg.Recorder.RecordPage(site, pageURL, res)
 	if err != nil {
 		return // unparseable page: drop, like the collector path
 	}
+	recordSpan.End()
+	commitSpan := obs.StartSpan(obs.CrawlCommit)
 	if err := o.spool.Append(rec); err != nil {
 		o.mu.Lock()
 		if o.spoolFailed == nil {
@@ -315,6 +350,10 @@ func (o *orchestrator) onPage(site crawler.Site, pageURL string, res *browser.Pa
 		}
 		o.mu.Unlock()
 		return
+	}
+	commitSpan.End()
+	if o.folder != nil {
+		o.folder.Fold(rec)
 	}
 	o.mu.Lock()
 	l := o.active[site.Domain]
@@ -358,7 +397,12 @@ func (o *orchestrator) writeCheckpoint() error {
 	}
 	cp.SetJobs(o.queue.ExportJobs())
 	// Record the durable spool extent alongside the progress it vouches
-	// for; resume refuses a spool smaller than this.
+	// for; resume refuses a spool smaller than this. The flush makes
+	// any group-commit tail durable first — a checkpoint must never
+	// mark a site done while its pages sit in a write buffer.
+	if err := o.spool.Flush(); err != nil {
+		return err
+	}
 	if sizes, err := o.spool.ShardSizes(); err == nil {
 		cp.ShardBytes = sizes
 	}

@@ -18,20 +18,47 @@ import (
 //
 // Layout: <dir>/shard-NNN.jsonl, one file per shard, one JSON-encoded
 // analysis.PageRecord per line. A site's pages always land in the same
-// shard (fnv64a(domain) mod shards), and every append is flushed before
-// it is acknowledged, so a crash loses at most the line being written.
-// On resume, a partially written final line is truncated away before
-// appending continues; its page is re-crawled and re-spooled, and the
-// merge step deduplicates by (site, pageURL).
+// shard (fnv64a(domain) mod shards). By default every append is
+// flushed before it is acknowledged, so a crash loses at most the line
+// being written; under a group-commit BatchPolicy a crash loses at
+// most one unflushed group per shard. Either way the loss is repaired
+// identically on resume: a partially written final line is truncated
+// away, lost pages belong to sites the checkpoint does not mark done
+// (checkpoints flush first), and re-crawled pages are deduplicated by
+// (site, pageURL) at merge.
 type Spooler struct {
 	dir    string
+	batch  BatchPolicy
 	shards []*shardFile
 }
 
+// BatchPolicy configures spool group commit. The zero value is the
+// seed (reference) behavior: every record is flushed to the OS before
+// its append is acknowledged. With Pages > 1, a shard buffers up to
+// Pages records (or Bytes bytes, whichever fills first) and commits
+// them as a group, trading the per-record flush syscall for a bounded
+// durability window. The durability contract moves with it: Flush runs
+// at every group boundary, before a checkpoint publishes ShardBytes,
+// before any merge, and on Close, so checkpointed progress never
+// vouches for bytes the spool has not written.
+type BatchPolicy struct {
+	// Pages is how many records a shard may buffer between flushes.
+	// 0 or 1 flushes every record (seed behavior).
+	Pages int
+	// Bytes sizes each shard's write buffer (default 4 KiB when 0); a
+	// full buffer flushes to the OS early, making Bytes the group's
+	// size boundary.
+	Bytes int
+}
+
+// groupCommit reports whether appends run batched.
+func (p BatchPolicy) groupCommit() bool { return p.Pages > 1 }
+
 type shardFile struct {
-	mu sync.Mutex
-	f  *os.File
-	w  *bufio.Writer
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	pending int // guarded by mu; records buffered since the last flush
 }
 
 // shardName names shard i's spool file.
@@ -42,13 +69,18 @@ func shardName(i int) string { return fmt.Sprintf("shard-%03d.jsonl", i) }
 // resume=true they are repaired (torn final lines dropped) and opened
 // for append.
 func OpenSpool(dir string, numShards int, resume bool) (*Spooler, error) {
+	return OpenSpoolBatch(dir, numShards, resume, BatchPolicy{})
+}
+
+// OpenSpoolBatch is OpenSpool with an explicit group-commit policy.
+func OpenSpoolBatch(dir string, numShards int, resume bool, batch BatchPolicy) (*Spooler, error) {
 	if numShards <= 0 {
 		numShards = 8
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("dispatch: spool dir: %w", err)
 	}
-	s := &Spooler{dir: dir}
+	s := &Spooler{dir: dir, batch: batch}
 	for i := 0; i < numShards; i++ {
 		path := filepath.Join(dir, shardName(i))
 		if resume {
@@ -68,7 +100,13 @@ func OpenSpool(dir string, numShards int, resume bool) (*Spooler, error) {
 			s.Close()
 			return nil, fmt.Errorf("dispatch: open shard: %w", err)
 		}
-		s.shards = append(s.shards, &shardFile{f: f, w: bufio.NewWriter(countingWriter{f})})
+		var w *bufio.Writer
+		if batch.Bytes > 0 {
+			w = bufio.NewWriterSize(countingWriter{f}, batch.Bytes)
+		} else {
+			w = bufio.NewWriter(countingWriter{f})
+		}
+		s.shards = append(s.shards, &shardFile{f: f, w: w})
 	}
 	return s, nil
 }
@@ -134,8 +172,10 @@ func (c countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Append durably appends one page record to its site's shard. The
-// record is flushed to the OS before Append returns.
+// Append appends one page record to its site's shard. Without group
+// commit the record is flushed to the OS before Append returns; with it
+// (BatchPolicy.Pages > 1) the record becomes durable at the next group
+// boundary, Flush, or Close.
 func (s *Spooler) Append(rec *analysis.PageRecord) error {
 	span := obs.StartSpan(obs.StageSpool)
 	sh := s.shards[s.ShardFor(rec.Site)]
@@ -144,12 +184,33 @@ func (s *Spooler) Append(rec *analysis.PageRecord) error {
 	if err := analysis.EncodeSpoolRecord(sh.w, rec); err != nil {
 		return err
 	}
-	if err := sh.w.Flush(); err != nil {
-		return err
+	sh.pending++
+	if !s.batch.groupCommit() || sh.pending >= s.batch.Pages {
+		if err := sh.w.Flush(); err != nil {
+			return err
+		}
+		sh.pending = 0
 	}
 	span.End()
 	obs.SpoolAppends.Inc()
 	return nil
+}
+
+// Flush commits every shard's buffered records to the OS. It is the
+// group-commit boundary the durability contract hangs on: callers must
+// Flush before recording ShardSizes in a checkpoint and before merging
+// the shard files.
+func (s *Spooler) Flush() error {
+	var first error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if err := sh.w.Flush(); err != nil && first == nil {
+			first = err
+		}
+		sh.pending = 0
+		sh.mu.Unlock()
+	}
+	return first
 }
 
 // AppendRaw durably appends one pre-encoded spool line to domain's
@@ -172,18 +233,22 @@ func (s *Spooler) AppendRaw(domain string, line []byte) error {
 			return err
 		}
 	}
+	// Ingest acknowledgements promise durability to remote workers, so
+	// AppendRaw always flushes regardless of the batch policy.
 	if err := sh.w.Flush(); err != nil {
 		return err
 	}
+	sh.pending = 0
 	span.End()
 	obs.SpoolAppends.Inc()
 	return nil
 }
 
 // ShardSizes returns the current on-disk size of every shard file, in
-// shard order. Sizes are meaningful at line boundaries: every append
-// flushes a whole line under the shard lock, so a size observed between
-// appends is durable-prefix-accurate.
+// shard order. Sizes are meaningful at flush boundaries: flushes write
+// whole lines under the shard lock, so a size observed after Flush (or
+// between per-record-flushed appends) is durable-prefix-accurate.
+// Group-commit callers must Flush before trusting the sizes.
 func (s *Spooler) ShardSizes() ([]int64, error) {
 	out := make([]int64, len(s.shards))
 	for i, path := range s.Paths() {

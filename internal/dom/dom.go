@@ -262,21 +262,39 @@ func (n *Node) writeHTML(b *strings.Builder) {
 	}
 }
 
+// The entity replacers are immutable after construction and safe for
+// concurrent Replace calls; building them once at init (instead of per
+// call) keeps the per-page parse path off the allocator — the per-call
+// form was the single largest allocation site in the crawl profile.
+var (
+	escapeTextReplacer   = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	escapeAttrReplacer   = strings.NewReplacer("&", "&amp;", `"`, "&quot;", "<", "&lt;")
+	unescapeTextReplacer = strings.NewReplacer("&lt;", "<", "&gt;", ">", "&quot;", `"`, "&#39;", "'", "&apos;", "'", "&amp;", "&")
+)
+
 // EscapeText escapes text-node content for HTML.
 func EscapeText(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
+	return escapeTextReplacer.Replace(s)
 }
 
 // EscapeAttr escapes attribute values for double-quoted HTML attributes.
 func EscapeAttr(s string) string {
-	r := strings.NewReplacer("&", "&amp;", `"`, "&quot;", "<", "&lt;")
-	return r.Replace(s)
+	if !strings.ContainsAny(s, "&\"<") {
+		return s
+	}
+	return escapeAttrReplacer.Replace(s)
 }
 
 // UnescapeText reverses the entity encoding used by EscapeText/EscapeAttr
-// (plus the common &#39; and &apos; forms).
+// (plus the common &#39; and &apos; forms). Every entity it rewrites
+// starts with '&', so entity-free strings return unchanged without a
+// replacer pass.
 func UnescapeText(s string) string {
-	r := strings.NewReplacer("&lt;", "<", "&gt;", ">", "&quot;", `"`, "&#39;", "'", "&apos;", "'", "&amp;", "&")
-	return r.Replace(s)
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	return unescapeTextReplacer.Replace(s)
 }

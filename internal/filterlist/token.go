@@ -121,7 +121,16 @@ func (sc *matchScratch) prepare(u *urlutil.URL) {
 		b = appendLowerASCII(b, u.Query)
 	}
 	sc.buf = b
-	sc.target = string(b)
+	// URLs in a crawl are almost always already lowercase canonical, in
+	// which case the rendered target equals u.String() byte-for-byte and
+	// the existing string can be reused. The comparison below does not
+	// allocate (the compiler special-cases string(b) == s in a compare),
+	// so the common path performs zero allocations.
+	if s := u.String(); s == string(b) {
+		sc.target = s
+	} else {
+		sc.target = string(b)
+	}
 	sc.tokens = appendURLTokens(sc.tokens[:0], sc.target)
 }
 

@@ -1,0 +1,31 @@
+package inclusion
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBuilderArenaSteadyStateAllocs pins the arena's reuse guarantee:
+// once a reused Builder has grown to a page's node count, rebuilding a
+// same-shaped tree touches (almost) no allocator — nodes come from the
+// retained chunks, index maps are cleared in place, and child/frame
+// slices keep their capacity. A regression here silently reverts the
+// crawl pipeline to one tree allocation per page.
+func TestBuilderArenaSteadyStateAllocs(t *testing.T) {
+	trace := genTrace(rand.New(rand.NewSource(7)))
+	b := NewBuilder()
+	// Warm: first build grows the arena to this trace's size.
+	if _, err := b.Build(trace); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := b.Build(trace); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A page tree of ~50 nodes must rebuild with only incidental
+	// allocations (map-internal churn), nowhere near one per node.
+	if allocs > 8 {
+		t.Errorf("steady-state arena rebuild: %.1f allocs, want <= 8", allocs)
+	}
+}

@@ -81,38 +81,74 @@ type Node struct {
 
 	// FirstParty is the top-level page URL at creation time.
 	FirstParty string
+
+	// Lazy URL-derivation memo. Attribution queries (chains, A&A
+	// ancestor tests, table building) ask for a node's host and domain
+	// many times; the URL is immutable after the node is built, so the
+	// parse happens once. Trees are built and consumed by one goroutine
+	// per page, so the memo needs no lock.
+	urlParsed bool
+	urlMemo   *urlutil.URL // nil when URL is unparsable
+	urlHost   string
+	urlDomain string
+}
+
+func (n *Node) parseURL() {
+	n.urlParsed = true
+	u, err := urlutil.Parse(n.URL)
+	if err != nil {
+		return
+	}
+	n.urlMemo = u
+	n.urlHost = u.Host
+	n.urlDomain = u.RegistrableDomain()
+}
+
+// ParsedURL returns the node URL parsed once and memoized, or nil for
+// an unparsable URL. Callers must treat the result as read-only: it is
+// shared across every query against this node.
+func (n *Node) ParsedURL() *urlutil.URL {
+	if !n.urlParsed {
+		n.parseURL()
+	}
+	return n.urlMemo
 }
 
 // Domain returns the node URL's registrable domain ("" if unparsable).
 func (n *Node) Domain() string {
-	u, err := urlutil.Parse(n.URL)
-	if err != nil {
-		return ""
+	if !n.urlParsed {
+		n.parseURL()
 	}
-	return u.RegistrableDomain()
+	return n.urlDomain
 }
 
 // Host returns the node URL's host.
 func (n *Node) Host() string {
-	u, err := urlutil.Parse(n.URL)
-	if err != nil {
-		return ""
+	if !n.urlParsed {
+		n.parseURL()
 	}
-	return u.Host
+	return n.urlHost
 }
 
 // Chain returns the ancestor path from the root down to (and including)
 // this node.
 func (n *Node) Chain() []*Node {
-	var rev []*Node
+	return n.AppendChain(nil)
+}
+
+// AppendChain is the scratch-reusing form of Chain: it appends the
+// root→n path to dst (growing it as needed) and returns the result.
+// Passing a recycled dst[:0] makes repeated chain walks allocation-free
+// once the scratch has grown to the deepest chain.
+func (n *Node) AppendChain(dst []*Node) []*Node {
+	start := len(dst)
 	for cur := n; cur != nil; cur = cur.Parent {
-		rev = append(rev, cur)
+		dst = append(dst, cur)
 	}
-	out := make([]*Node, len(rev))
-	for i := range rev {
-		out[i] = rev[len(rev)-1-i]
+	for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
 	}
-	return out
+	return dst
 }
 
 // Walk visits the subtree in depth-first order.
@@ -143,42 +179,53 @@ type Tree struct {
 	// Blocked holds request nodes cancelled by extensions (attached to
 	// the tree like ordinary requests, flagged by Status == -1).
 	Blocked []*Node
+
+	// newNode allocates tree nodes: fresh heap nodes for the one-shot
+	// Build path, arena slots for Builder.
+	newNode func() *Node
 }
 
 // Sockets returns all WebSocket nodes in creation order.
 func (t *Tree) Sockets() []*Node {
-	var out []*Node
-	t.Root.Walk(func(n *Node) bool {
-		if n.Kind == KindWebSocket {
-			out = append(out, n)
-		}
-		return true
-	})
-	return out
+	return t.AppendKind(nil, KindWebSocket)
 }
 
 // Requests returns all HTTP request nodes in creation order.
 func (t *Tree) Requests() []*Node {
-	var out []*Node
+	return t.AppendKind(nil, KindRequest)
+}
+
+// AppendKind appends every node of the given kind, in creation order,
+// to dst and returns it — the scratch-reusing form of Sockets and
+// Requests.
+func (t *Tree) AppendKind(dst []*Node, kind Kind) []*Node {
 	t.Root.Walk(func(n *Node) bool {
-		if n.Kind == KindRequest {
-			out = append(out, n)
+		if n.Kind == kind {
+			dst = append(dst, n)
 		}
 		return true
 	})
-	return out
+	return dst
 }
 
 // Build replays a devtools trace into an inclusion tree. It returns an
 // error on traces that reference unknown parents, which indicates an
-// instrumentation bug.
+// instrumentation bug. Every node is freshly allocated and the tree
+// lives as long as the caller keeps it; Builder is the pooled
+// alternative for per-page throughput.
 func Build(trace *devtools.Trace) (*Tree, error) {
 	t := &Tree{
 		frames:  map[devtools.FrameID]*Node{},
 		scripts: map[devtools.ScriptID]*Node{},
 		reqs:    map[devtools.RequestID]*Node{},
 		sockets: map[devtools.SocketID]*Node{},
+		newNode: func() *Node { return new(Node) },
 	}
+	return t.replay(trace)
+}
+
+// replay applies the trace's events to an initialized tree.
+func (t *Tree) replay(trace *devtools.Trace) (*Tree, error) {
 	for i, ev := range trace.Events {
 		if err := t.apply(ev); err != nil {
 			return nil, fmt.Errorf("inclusion: event %d (%s): %w", i, ev.Method(), err)
@@ -188,6 +235,88 @@ func Build(trace *devtools.Trace) (*Tree, error) {
 		return nil, fmt.Errorf("inclusion: trace has no top-level frame")
 	}
 	return t, nil
+}
+
+// builderChunk is the arena block size. A typical page tree is well
+// under one block, so steady-state builds touch no allocator at all.
+const builderChunk = 256
+
+// Builder builds inclusion trees out of a reused node arena with
+// per-page reset: chunks of nodes, the tree's index maps, and each
+// node's child/frame slices are all retained across builds and recycled
+// instead of reallocated.
+//
+// Ownership rule (enforced by the pipeline's differential and
+// allocation-regression tests): the *Tree returned by Build — and every
+// *Node reachable from it — is valid only until the next Build call on
+// the same Builder. Callers that need a tree to outlive the next page
+// must use the package-level Build. A Builder is not safe for
+// concurrent use; analysis.Recorder hands them out via a sync.Pool.
+type Builder struct {
+	chunks [][]Node
+	used   int
+	tree   Tree
+}
+
+// NewBuilder returns a Builder with an empty arena; storage grows to
+// the largest page seen and is retained from then on.
+func NewBuilder() *Builder {
+	b := &Builder{}
+	b.tree = Tree{
+		frames:  map[devtools.FrameID]*Node{},
+		scripts: map[devtools.ScriptID]*Node{},
+		reqs:    map[devtools.RequestID]*Node{},
+		sockets: map[devtools.SocketID]*Node{},
+		newNode: b.alloc,
+	}
+	return b
+}
+
+// alloc hands out the next arena node, growing by one chunk when the
+// arena is exhausted. Returned nodes are zero-valued except for the
+// child/frame slice capacity retained by reset.
+func (b *Builder) alloc() *Node {
+	ci, off := b.used/builderChunk, b.used%builderChunk
+	if ci == len(b.chunks) {
+		b.chunks = append(b.chunks, make([]Node, builderChunk))
+	}
+	b.used++
+	return &b.chunks[ci][off]
+}
+
+// reset recycles every node handed out since the last reset, keeping
+// the slice capacity each node accumulated (children, WS frames) but
+// dropping all references so retired page data can be collected.
+func (b *Builder) reset() {
+	for i := 0; i < b.used; i++ {
+		n := &b.chunks[i/builderChunk][i%builderChunk]
+		children, sent, received := n.Children, n.Sent, n.Received
+		clear(children)
+		clear(sent)
+		clear(received)
+		*n = Node{}
+		n.Children = children[:0]
+		n.Sent = sent[:0]
+		n.Received = received[:0]
+	}
+	b.used = 0
+	t := &b.tree
+	t.Root = nil
+	t.PageURL = ""
+	clear(t.Blocked)
+	t.Blocked = t.Blocked[:0]
+	clear(t.frames)
+	clear(t.scripts)
+	clear(t.reqs)
+	clear(t.sockets)
+}
+
+// Build replays a devtools trace into the builder's reused tree. The
+// reset happens on entry, so a tree stays fully usable until the next
+// Build even across error returns.
+func (b *Builder) Build(trace *devtools.Trace) (*Tree, error) {
+	b.reset()
+	return b.tree.replay(trace)
 }
 
 // parentFor resolves an initiator to its tree node.
@@ -216,7 +345,8 @@ func attach(parent, child *Node) {
 func (t *Tree) apply(ev devtools.Event) error {
 	switch ev := ev.(type) {
 	case devtools.FrameNavigated:
-		n := &Node{Kind: KindFrame, ID: string(ev.FrameID), URL: ev.URL}
+		n := t.newNode()
+		n.Kind, n.ID, n.URL = KindFrame, string(ev.FrameID), ev.URL
 		if ev.ParentFrameID == "" {
 			if t.Root != nil {
 				return fmt.Errorf("second top-level frame %s", ev.FrameID)
@@ -237,7 +367,8 @@ func (t *Tree) apply(ev devtools.Event) error {
 		if err != nil {
 			return err
 		}
-		n := &Node{Kind: KindScript, ID: string(ev.ScriptID), URL: ev.URL, Inline: ev.Inline}
+		n := t.newNode()
+		n.Kind, n.ID, n.URL, n.Inline = KindScript, string(ev.ScriptID), ev.URL, ev.Inline
 		attach(parent, n)
 		t.scripts[ev.ScriptID] = n
 
@@ -246,10 +377,9 @@ func (t *Tree) apply(ev devtools.Event) error {
 		if err != nil {
 			return err
 		}
-		n := &Node{
-			Kind: KindRequest, ID: string(ev.RequestID), URL: ev.URL,
-			Type: ev.Type, Header: ev.Header, ReqBody: ev.Body, FirstParty: ev.FirstPartyURL,
-		}
+		n := t.newNode()
+		n.Kind, n.ID, n.URL = KindRequest, string(ev.RequestID), ev.URL
+		n.Type, n.Header, n.ReqBody, n.FirstParty = ev.Type, ev.Header, ev.Body, ev.FirstPartyURL
 		attach(parent, n)
 		t.reqs[ev.RequestID] = n
 
@@ -265,10 +395,9 @@ func (t *Tree) apply(ev devtools.Event) error {
 		if err != nil {
 			return err
 		}
-		n := &Node{
-			Kind: KindRequest, ID: string(ev.RequestID), URL: ev.URL,
-			Type: ev.Type, Status: -1,
-		}
+		n := t.newNode()
+		n.Kind, n.ID, n.URL = KindRequest, string(ev.RequestID), ev.URL
+		n.Type, n.Status = ev.Type, -1
 		attach(parent, n)
 		t.Blocked = append(t.Blocked, n)
 
@@ -277,10 +406,9 @@ func (t *Tree) apply(ev devtools.Event) error {
 		if err != nil {
 			return err
 		}
-		n := &Node{
-			Kind: KindWebSocket, ID: string(ev.SocketID), URL: ev.URL,
-			Type: devtools.ResourceWebSocket, FirstParty: ev.FirstPartyURL,
-		}
+		n := t.newNode()
+		n.Kind, n.ID, n.URL = KindWebSocket, string(ev.SocketID), ev.URL
+		n.Type, n.FirstParty = devtools.ResourceWebSocket, ev.FirstPartyURL
 		attach(parent, n)
 		t.sockets[ev.SocketID] = n
 

@@ -297,8 +297,8 @@ func (l *Labeler) MatchChain(chain []*inclusion.Node, pageHost string) bool {
 		if n.Kind != inclusion.KindScript && n.Kind != inclusion.KindRequest && n.Kind != inclusion.KindWebSocket {
 			continue
 		}
-		u, err := urlutil.Parse(n.URL)
-		if err != nil {
+		u := n.ParsedURL()
+		if u == nil {
 			continue
 		}
 		typ := n.Type

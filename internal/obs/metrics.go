@@ -123,6 +123,18 @@ const (
 	MStageSpool      = "stage.spool"
 	MStageCheckpoint = "stage.checkpoint"
 	MStageMerge      = "stage.merge"
+
+	// Per-page phase histograms, one sample per crawled page. Where the
+	// stage.* histograms time individual operations (a fetch, a spool
+	// write), the crawl.* histograms time the page-granular phases the
+	// crawl capacity model is built on: visit is the browser's full
+	// page load, record is trace→PageRecord conversion, commit is the
+	// durable spool append (including any group-commit flush), and page
+	// is the whole visit→record→commit turnaround.
+	MCrawlVisit  = "crawl.visit"
+	MCrawlRecord = "crawl.record"
+	MCrawlCommit = "crawl.commit"
+	MCrawlPage   = "crawl.page"
 )
 
 // The pipeline's well-known metrics, pre-resolved on Default so
@@ -187,6 +199,11 @@ var (
 	WSBytesIn     = Default.Counter(MWSBytesIn)
 	WSBytesOut    = Default.Counter(MWSBytesOut)
 	WSHandshake   = Default.Histogram(MWSHandshake)
+
+	CrawlVisit  = Default.Histogram(MCrawlVisit)
+	CrawlRecord = Default.Histogram(MCrawlRecord)
+	CrawlCommit = Default.Histogram(MCrawlCommit)
+	CrawlPage   = Default.Histogram(MCrawlPage)
 
 	StageFetch      = Default.Histogram(MStageFetch)
 	StageParse      = Default.Histogram(MStageParse)

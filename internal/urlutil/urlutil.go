@@ -29,11 +29,25 @@ type URL struct {
 	Path string
 	// Query is the raw query string without the leading "?".
 	Query string
+
+	// str memoizes String() when the parsed input is already in
+	// canonical form. It is set only during Parse, before the URL is
+	// shared, so later concurrent String() calls stay race-free.
+	str string
 }
 
 // Parse parses an absolute URL. It rejects relative references and URLs
 // without a host, since every resource in a crawl trace must be absolute.
+//
+// Simple URLs — lowercase scheme and host, no userinfo, no fragment, no
+// percent-escapes, nothing the standard library would re-encode — take a
+// single-allocation fast path; anything else falls back to net/url. The
+// two paths produce identical URL values for every input the fast path
+// accepts (TestParseFastMatchesStd).
 func Parse(raw string) (*URL, error) {
+	if u, ok := parseFast(raw); ok {
+		return u, nil
+	}
 	u, err := url.Parse(raw)
 	if err != nil {
 		return nil, fmt.Errorf("urlutil: parse %q: %w", raw, err)
@@ -58,6 +72,108 @@ func Parse(raw string) (*URL, error) {
 	}, nil
 }
 
+// parseFast hand-parses scheme://host[:port][/path][?query] for the
+// conservative subset of URLs where its output is bit-identical to the
+// net/url path in Parse: lowercase scheme and host, no userinfo,
+// fragment, percent-escape, or any byte the standard library would
+// re-encode. Returns ok=false (fall back to net/url) for anything it is
+// not certain about.
+func parseFast(raw string) (*URL, bool) {
+	var scheme, rest string
+	switch {
+	case strings.HasPrefix(raw, "http://"):
+		scheme, rest = "http", raw[len("http://"):]
+	case strings.HasPrefix(raw, "https://"):
+		scheme, rest = "https", raw[len("https://"):]
+	case strings.HasPrefix(raw, "ws://"):
+		scheme, rest = "ws", raw[len("ws://"):]
+	case strings.HasPrefix(raw, "wss://"):
+		scheme, rest = "wss", raw[len("wss://"):]
+	default:
+		return nil, false
+	}
+	hostport, path, query := rest, "/", ""
+	if i := strings.IndexAny(rest, "/?"); i >= 0 {
+		hostport = rest[:i]
+		tail := rest[i:]
+		if tail[0] == '?' {
+			query = tail[1:]
+		} else if q := strings.IndexByte(tail, '?'); q >= 0 {
+			path, query = tail[:q], tail[q+1:]
+		} else {
+			path = tail
+		}
+	}
+	host, port := hostport, ""
+	if c := strings.IndexByte(hostport, ':'); c >= 0 {
+		host, port = hostport[:c], hostport[c+1:]
+		if port == "" || !allDigits(port) {
+			return nil, false
+		}
+	}
+	if host == "" || !simpleHost(host) || !simplePath(path) || !simpleQuery(query) {
+		return nil, false
+	}
+	u := &URL{Raw: raw, Scheme: scheme, Host: host, Port: port, Path: path, Query: query}
+	if strings.IndexAny(rest, "/?") >= 0 && rest[strings.IndexAny(rest, "/?")] == '/' {
+		// The input spelled out its path, so reassembly reproduces it
+		// verbatim: String() can return the original bytes.
+		u.str = raw
+	}
+	return u, true
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// simpleHost accepts already-lowercase DNS-style hosts; anything else
+// (uppercase, IP literals in brackets, userinfo '@') falls back to the
+// standard parser, which normalizes those forms.
+func simpleHost(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '.' && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// simplePath accepts exactly the bytes url.URL.EscapedPath leaves
+// unescaped, so the fast path's verbatim path equals the standard
+// library's escaped path. '%', '@', and '#' are deliberately excluded:
+// escapes and fragments need full parsing, and '@' could mark userinfo.
+func simplePath(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case strings.IndexByte("-._~$&+,/;:=!'()*", c) >= 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// simpleQuery accepts printable ASCII without '#' (a fragment) or '%'
+// (an escape): net/url stores such query strings verbatim in RawQuery.
+func simpleQuery(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '#' || c == '%' {
+			return false
+		}
+	}
+	return true
+}
+
 // MustParse is Parse but panics on error. It is intended for static URLs in
 // generators and tests.
 func MustParse(raw string) *URL {
@@ -68,9 +184,23 @@ func MustParse(raw string) *URL {
 	return u
 }
 
-// String reassembles the URL.
+// String reassembles the URL. The builder is pre-sized to the exact
+// output length so reassembly costs a single allocation; String is the
+// hottest allocation site in the crawl pipeline (every request, event,
+// and record key reassembles a URL).
 func (u *URL) String() string {
+	if u.str != "" {
+		return u.str
+	}
+	n := len(u.Scheme) + len("://") + len(u.Host) + len(u.Path)
+	if u.Port != "" {
+		n += 1 + len(u.Port)
+	}
+	if u.Query != "" {
+		n += 1 + len(u.Query)
+	}
 	var b strings.Builder
+	b.Grow(n)
 	b.WriteString(u.Scheme)
 	b.WriteString("://")
 	b.WriteString(u.Host)
@@ -150,23 +280,27 @@ func RegistrableDomain(host string) string {
 	if host == "" || isIPLiteral(host) {
 		return host
 	}
-	labels := strings.Split(host, ".")
-	if len(labels) < 2 {
+	// Walk label boundaries from the right instead of Split/Join: the
+	// answer is always a suffix of host, so it can be sliced out without
+	// building a labels slice (this runs for every mapped domain).
+	i1 := strings.LastIndexByte(host, '.')
+	if i1 < 0 {
+		return host // single label
+	}
+	i2 := strings.LastIndexByte(host[:i1], '.')
+	if i2 < 0 {
+		// Exactly two labels: the registrable domain is the whole host
+		// whether or not it is itself a multi-label public suffix.
 		return host
 	}
+	last2 := host[i2+1:]
 	// Check for a two-label public suffix (e.g. co.uk): registrable
 	// domain is then the last three labels.
-	if len(labels) >= 3 {
-		tail2 := strings.Join(labels[len(labels)-2:], ".")
-		if multiLabelSuffixes[tail2] {
-			return strings.Join(labels[len(labels)-3:], ".")
-		}
+	if multiLabelSuffixes[last2] {
+		i3 := strings.LastIndexByte(host[:i2], '.')
+		return host[i3+1:]
 	}
-	if multiLabelSuffixes[strings.Join(labels[len(labels)-2:], ".")] {
-		// Host is exactly a multi-label suffix.
-		return host
-	}
-	return strings.Join(labels[len(labels)-2:], ".")
+	return last2
 }
 
 func isIPLiteral(host string) bool {

@@ -1,6 +1,8 @@
 package urlutil
 
 import (
+	"errors"
+	"net/url"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -185,4 +187,107 @@ func TestMustParsePanics(t *testing.T) {
 		}
 	}()
 	MustParse("not a url")
+}
+
+// parseStd is the net/url reference path of Parse, with the fast path
+// disabled. It must stay in sync with the fallback branch in Parse.
+func parseStd(raw string) (*URL, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	if u.Scheme == "" || u.Hostname() == "" {
+		return nil, errInvalid
+	}
+	p := u.EscapedPath()
+	if p == "" {
+		p = "/"
+	}
+	return &URL{
+		Raw:    raw,
+		Scheme: strings.ToLower(u.Scheme),
+		Host:   strings.ToLower(u.Hostname()),
+		Port:   u.Port(),
+		Path:   p,
+		Query:  u.RawQuery,
+	}, nil
+}
+
+var errInvalid = errors.New("invalid")
+
+// TestParseFastMatchesStd proves the fast path is a strict subset of the
+// net/url path: every URL parseFast accepts must produce the exact URL
+// value the standard-library fallback would.
+func TestParseFastMatchesStd(t *testing.T) {
+	cases := []string{
+		"http://example.com",
+		"http://example.com/",
+		"http://example.com/a/b/c.js",
+		"https://sub.tracker-cdn.net:8443/w.js?pub=news.com&pg=3",
+		"ws://adnet.com/data.ws?sid=7&u=42",
+		"wss://x.doubleclick.net:443/sock",
+		"http://127.0.0.1:9000/img/1.gif",
+		"http://a.co/p?q=hello world&x=a+b",
+		"http://a.co/p?dom=PGh0bWw-PC9odG1sPg==",
+		"http://a.co/~user/file.txt;v=1",
+		"http://a.co/p!(x)'y'*z",
+		// Inputs the fast path must reject but std must normalize or error:
+		"http://Example.COM/Upper",
+		"http://a.co/p%20q",
+		"http://a.co/p#frag",
+		"http://user@a.co/",
+		"http://a.co:abc/",
+		"http://a.co/p?q=%zz#x",
+	}
+	for _, raw := range cases {
+		fast, fastOK := parseFast(raw)
+		std, stdErr := parseStd(raw)
+		if !fastOK {
+			// Fallback handles it; just confirm Parse agrees with std.
+			got, err := Parse(raw)
+			if (err == nil) != (stdErr == nil) {
+				t.Errorf("Parse(%q) err=%v, std err=%v", raw, err, stdErr)
+			} else if err == nil && !sameURL(got, std) {
+				t.Errorf("Parse(%q) = %+v, std = %+v", raw, got, std)
+			}
+			continue
+		}
+		if stdErr != nil {
+			t.Errorf("parseFast(%q) accepted but std errors: %v", raw, stdErr)
+			continue
+		}
+		if !sameURL(fast, std) {
+			t.Errorf("parseFast(%q) = %+v, std = %+v", raw, fast, std)
+		}
+	}
+}
+
+// TestParseFastMatchesStdQuick drives the same equivalence over
+// generated world-shaped URLs.
+func TestParseFastMatchesStdQuick(t *testing.T) {
+	hosts := []string{"example.com", "t7.websock-tracker.net", "127.0.0.1"}
+	paths := []string{"", "/", "/w.js", "/page/3", "/img/pixel.gif", "/a/b;v=1"}
+	queries := []string{"", "?pub=news.com&pg=2", "?dom=AAb-_=", "?q=a b", "?id=7&&x"}
+	ports := []string{"", ":80", ":8443"}
+	f := func(h, p, q, pt uint8) bool {
+		raw := "http://" + hosts[int(h)%len(hosts)] + ports[int(pt)%len(ports)] +
+			paths[int(p)%len(paths)] + queries[int(q)%len(queries)]
+		fast, ok := parseFast(raw)
+		if !ok {
+			return true
+		}
+		std, err := parseStd(raw)
+		return err == nil && sameURL(fast, std)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// sameURL compares the exported fields of two URLs; the unexported
+// String memo legitimately differs between the fast and std paths.
+func sameURL(a, b *URL) bool {
+	return a.Raw == b.Raw && a.Scheme == b.Scheme && a.Host == b.Host &&
+		a.Port == b.Port && a.Path == b.Path && a.Query == b.Query &&
+		a.String() == b.String()
 }

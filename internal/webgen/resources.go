@@ -30,8 +30,28 @@ type PagePlan struct {
 
 // PlanFor computes the load plan for page n (0 = homepage) of a
 // publisher. The plan is pure: equal (world, publisher, page) yield the
-// same plan.
+// same plan. Because it is pure, results are memoized on the World —
+// RenderPage and the /js/app.js endpoint both need the same plan for
+// every page visit — and the returned *PagePlan is shared: callers must
+// treat it as read-only.
 func (w *World) PlanFor(pub *Publisher, page int) *PagePlan {
+	key := planKey{domain: pub.Domain, page: page}
+	w.planMu.Lock()
+	if plan, ok := w.planCache[key]; ok {
+		w.planMu.Unlock()
+		return plan
+	}
+	w.planMu.Unlock()
+	// Compute outside the lock: plans are pure, so a racing duplicate
+	// computation yields an identical plan and either result may win.
+	plan := w.computePlan(pub, page)
+	w.planMu.Lock()
+	w.planCache[key] = plan
+	w.planMu.Unlock()
+	return plan
+}
+
+func (w *World) computePlan(pub *Publisher, page int) *PagePlan {
 	rng := w.rng("plan", pub.Domain, fmt.Sprint(page))
 	plan := &PagePlan{
 		Title:      fmt.Sprintf("%s — %s %d", pub.Domain, pub.Category, page),
@@ -233,21 +253,29 @@ func (w *World) companyProgram(c *Company, pub *Publisher, page int) *script.Pro
 // second return is false for hosts/paths outside the world.
 func (w *World) Get(rawURL string) (*Resource, bool) {
 	u, err := urlutil.Parse(rawURL)
-	if err != nil || u.IsWebSocket() {
+	if err != nil {
 		return nil, false
 	}
-	q := parseQuery(u.Query)
+	return w.GetURL(u)
+}
 
+// GetURL is Get for callers that already hold a parsed URL (the
+// in-process Fetch plane), sparing the round-trip through String and
+// re-Parse. u is treated as read-only.
+func (w *World) GetURL(u *urlutil.URL) (*Resource, bool) {
+	if u.IsWebSocket() {
+		return nil, false
+	}
 	if pub := w.pubByDomain[u.Host]; pub != nil {
-		return w.publisherResource(pub, u, q)
+		return w.publisherResource(pub, u)
 	}
 	if c := w.CompanyByHost(u.Host); c != nil {
-		return w.companyResource(c, u, q)
+		return w.companyResource(c, u)
 	}
 	return nil, false
 }
 
-func (w *World) publisherResource(pub *Publisher, u *urlutil.URL, q map[string]string) (*Resource, bool) {
+func (w *World) publisherResource(pub *Publisher, u *urlutil.URL) (*Resource, bool) {
 	switch {
 	case u.Path == "/":
 		return htmlResource(w.RenderPage(pub, 0)), true
@@ -258,10 +286,10 @@ func (w *World) publisherResource(pub *Publisher, u *urlutil.URL, q map[string]s
 		}
 		return htmlResource(w.RenderPage(pub, n)), true
 	case u.Path == "/js/app.js":
-		plan := w.PlanFor(pub, atoi(q["pg"]))
+		plan := w.PlanFor(pub, atoi(queryParam(u.Query, "pg")))
 		return jsResource(plan.AppProgram.MustEncode()), true
 	case strings.HasPrefix(u.Path, "/img/"):
-		return &Resource{Status: 200, ContentType: "image/gif", Body: payload.PixelGIF()}, true
+		return &Resource{Status: 200, ContentType: "image/gif", Body: pixelGIFBody}, true
 	case u.Path == "/css/site.css":
 		return &Resource{Status: 200, ContentType: "text/css",
 			Body: []byte("body{font-family:sans-serif;margin:2em}.ad{border:1px solid #ccc}")}, true
@@ -269,16 +297,16 @@ func (w *World) publisherResource(pub *Publisher, u *urlutil.URL, q map[string]s
 	return &Resource{Status: 404, ContentType: "text/plain", Body: []byte("not found")}, true
 }
 
-func (w *World) companyResource(c *Company, u *urlutil.URL, q map[string]string) (*Resource, bool) {
+func (w *World) companyResource(c *Company, u *urlutil.URL) (*Resource, bool) {
 	switch {
 	case u.Path == "/w.js":
-		pub := w.pubByDomain[q["pub"]]
+		pub := w.pubByDomain[queryParam(u.Query, "pub")]
 		if pub == nil {
 			return jsResource("/* no-op */function noop(){}"), true
 		}
-		return jsResource(w.companyProgram(c, pub, atoi(q["pg"])).MustEncode()), true
+		return jsResource(w.companyProgram(c, pub, atoi(queryParam(u.Query, "pg"))).MustEncode()), true
 	case u.Path == "/pixel.gif":
-		return &Resource{Status: 200, ContentType: "image/gif", Body: payload.PixelGIF()}, true
+		return &Resource{Status: 200, ContentType: "image/gif", Body: pixelGIFBody}, true
 	case strings.HasPrefix(u.Path, "/track/"):
 		// Beacon endpoints usually acknowledge with an empty body, but
 		// some return small JSON configs (Table 5's HTTP JSON slice).
@@ -295,10 +323,9 @@ func (w *World) companyResource(c *Company, u *urlutil.URL, q map[string]string)
 	case strings.HasPrefix(u.Path, "/img/"):
 		// Ad creatives on the company's CDN host (cdn1.lockerdome.com):
 		// a JPEG signature plus filler.
-		body := append([]byte("\xFF\xD8\xFF\xE0\x00\x10JFIF\x00"), []byte(strings.Repeat("ad", 64))...)
-		return &Resource{Status: 200, ContentType: "image/jpeg", Body: body}, true
+		return &Resource{Status: 200, ContentType: "image/jpeg", Body: adJPEGBody}, true
 	case strings.HasPrefix(u.Path, "/lib/"):
-		return &Resource{Status: 200, ContentType: "image/gif", Body: payload.PixelGIF()}, true
+		return &Resource{Status: 200, ContentType: "image/gif", Body: pixelGIFBody}, true
 	}
 	return &Resource{Status: 404, ContentType: "text/plain", Body: []byte("not found")}, true
 }
@@ -350,6 +377,40 @@ func htmlResource(body string) *Resource {
 
 func jsResource(body string) *Resource {
 	return &Resource{Status: 200, ContentType: "application/javascript", Body: []byte(body)}
+}
+
+// Shared response bodies for static resources, rendered once. Servers
+// hand these out by reference; every consumer (wire writes, the
+// in-process Fetch plane, the browser) treats resource bodies as
+// read-only.
+var (
+	pixelGIFBody = payload.PixelGIF()
+	adJPEGBody   = append([]byte("\xFF\xD8\xFF\xE0\x00\x10JFIF\x00"), []byte(strings.Repeat("ad", 64))...)
+)
+
+// queryParam returns the value of key in a raw query string without
+// allocating. Like parseQuery, the last occurrence of a key wins.
+func queryParam(q, key string) string {
+	val := ""
+	for len(q) > 0 {
+		kv := q
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			kv, q = q[:i], q[i+1:]
+		} else {
+			q = ""
+		}
+		if kv == "" {
+			continue
+		}
+		k, v := kv, ""
+		if i := strings.IndexByte(kv, '='); i >= 0 {
+			k, v = kv[:i], kv[i+1:]
+		}
+		if k == key {
+			val = v
+		}
+	}
+	return val
 }
 
 func parseQuery(q string) map[string]string {

@@ -6,10 +6,20 @@ import (
 	"repro/internal/payload"
 )
 
-// feedPartnerPool generates the pool of benign third-party WebSocket
+// feedPartners is built once: the pool is deterministic, every consumer
+// treats it (and its subslices) as read-only, and catalog construction
+// happens on each NewWorld, so rebuilding 40 formatted domains there is
+// pure allocation churn.
+var feedPartners = buildFeedPartnerPool()
+
+// feedPartnerPool returns the pool of benign third-party WebSocket
 // endpoints (sports feeds, push relays, realtime APIs) that the 382
-// unique non-A&A receiver domains of §4.1 are drawn from.
+// unique non-A&A receiver domains of §4.1 are drawn from. Read-only.
 func feedPartnerPool() []string {
+	return feedPartners
+}
+
+func buildFeedPartnerPool() []string {
 	kinds := []string{"feed", "push", "live", "stream", "rtapi", "syncd", "score", "tick"}
 	var out []string
 	for i, k := range kinds {

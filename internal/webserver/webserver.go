@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/faultnet"
 	"repro/internal/obs"
+	"repro/internal/urlutil"
 	"repro/internal/webgen"
 	"repro/internal/wsproto"
 )
@@ -96,6 +97,21 @@ type Server struct {
 	socks    map[*wsproto.Conn]struct{} // guarded by mu
 	wsActive int                        // guarded by mu
 	closed   bool                       // guarded by mu
+
+	resMu    sync.Mutex
+	resCache map[string]cachedResource // guarded by resMu; Fetch's memo of World.Get results
+}
+
+// cachedResource is one memoized World.Get resolution. World is a pure
+// function of its Config — resolving the same URL twice renders the
+// same bytes — so Fetch caches resolutions instead of re-rendering per
+// request. The cache is bounded by the number of distinct URLs in the
+// world and is only populated by the in-process Fetch plane; the TCP
+// handler keeps rendering per request, preserving the reference
+// pipeline's behavior exactly.
+type cachedResource struct {
+	res *webgen.Resource
+	ok  bool
 }
 
 // Start launches the server on an ephemeral loopback port.
@@ -365,6 +381,61 @@ func (s *Server) echoLoop(conn *wsproto.Conn) {
 		obs.WSMessagesOut.Inc()
 		obs.WSBytesOut.Add(int64(len(msg)))
 	}
+}
+
+// Fetch resolves one HTTP request against the World in-process,
+// bypassing the TCP listener and the net/http stack entirely. It is the
+// fast path for single-process crawls: the handler logic and counters
+// mirror handle() exactly, so a crawl fetching through Fetch observes
+// byte-identical statuses, content types, and bodies to one fetching
+// over the wire (proven by the pipeline differential test in
+// internal/core). postBody is accepted for signature fidelity with an
+// HTTP POST; like handle(), the server discards request bodies.
+//
+// The returned body aliases the World's resource bytes: callers must
+// treat it as read-only. Unknown virtual hosts return an error, the
+// in-process equivalent of the failed dial a wire client would see.
+//
+// Fetch must not be used under a fault profile — fault injection
+// degrades the wire, so bypassing the wire would bypass the faults;
+// core keeps fault-injected crawls on the TCP client.
+func (s *Server) Fetch(u *urlutil.URL, postBody []byte) (status int, contentType string, body []byte, err error) {
+	_ = postBody
+	if s.World == nil || !s.World.KnownHost(u.Host) {
+		return 0, "", nil, fmt.Errorf("webserver: no route to host %q", u.Host)
+	}
+	s.Stats.HTTPRequests.Add(1)
+	obs.ServerRequests.Inc()
+	key := u.String()
+	s.resMu.Lock()
+	cached, hit := s.resCache[key]
+	s.resMu.Unlock()
+	var res *webgen.Resource
+	var ok bool
+	if hit {
+		res, ok = cached.res, cached.ok
+	} else {
+		res, ok = s.World.GetURL(u)
+		s.resMu.Lock()
+		if s.resCache == nil {
+			s.resCache = map[string]cachedResource{}
+		}
+		s.resCache[key] = cachedResource{res: res, ok: ok}
+		s.resMu.Unlock()
+	}
+	if !ok {
+		s.Stats.NotFound.Add(1)
+		// http.Error's exact observable surface: status, content type,
+		// and the message with a trailing newline.
+		return http.StatusNotFound, "text/plain; charset=utf-8", []byte("no such resource\n"), nil
+	}
+	b := res.Body
+	if b == nil {
+		// A wire client's io.ReadAll on an empty response yields an
+		// empty non-nil slice; keep the two paths indistinguishable.
+		b = []byte{}
+	}
+	return res.Status, res.ContentType, b, nil
 }
 
 // Resolver returns a function mapping any known virtual host:port to the
