@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos fabric-soak load-soak bench-obs bench-match bench-match-smoke bench-fabric bench-fabric-smoke bench-ws bench-ws-smoke bench-lint bench-lint-smoke bench-crawl bench-crawl-smoke lint fmt-check ci clean
+.PHONY: all build vet test race chaos fabric-soak load-soak bench-obs bench-match bench-match-smoke bench-fabric bench-fabric-smoke bench-ws bench-ws-smoke bench-lint bench-lint-smoke bench-crawl bench-crawl-smoke bench-store bench-store-smoke lint fmt-check ci clean
 
 all: ci
 
@@ -123,11 +123,25 @@ bench-crawl:
 bench-crawl-smoke:
 	$(GO) test ./internal/core -bench CrawlPipeline -benchtime 1x -run '^$$'
 
+# Columnar store benchmarks (DESIGN.md §15, OPERATIONS.md "Query
+# service"): the hot ingest path (fold + shard buffer, pinned at 1
+# alloc/op by TestStoreIngestAllocs), the fsync-dominated group-commit
+# seal, cold-start segment replay, and the steady-state query service
+# over the cached snapshot. BENCH_store.json records the accepted
+# baseline.
+bench-store:
+	$(GO) test ./internal/colstore -bench Store -benchmem -run '^$$'
+
+# One-iteration smoke for ci: proves ingest, seal, replay, and query
+# still execute end to end without paying full -benchtime.
+bench-store-smoke:
+	$(GO) test ./internal/colstore -bench Store -benchtime 1x -run '^$$'
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt-check vet build lint test race bench-match-smoke bench-fabric-smoke bench-ws-smoke bench-lint-smoke bench-crawl-smoke
+ci: fmt-check vet build lint test race bench-match-smoke bench-fabric-smoke bench-ws-smoke bench-lint-smoke bench-crawl-smoke bench-store-smoke
 
 clean:
 	$(GO) clean ./...

@@ -11,7 +11,14 @@
 //	         [-pages N] [-seed S] [-version 57] [-batch-size N]
 //	         [-shards N] [-lease-ttl DUR] [-retries N] [-resume]
 //	         [-metrics-addr HOST:PORT] [-progress DUR]
+//	         [-store-dir DIR] [-query-addr HOST:PORT]
 //	         [-fault-profile NAME] [-fault-seed S]
+//
+// With -store-dir the coordinator also ingests every streamed page into
+// an embedded columnar store (internal/colstore), sealed at checkpoint
+// boundaries; -query-addr serves the wsquery HTTP API over that store
+// live, while the crawl is still running (OPERATIONS.md "Query
+// service").
 //
 // Workers join with:
 //
@@ -32,12 +39,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
 	"syscall"
 
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/dispatch"
 	"repro/internal/faultnet"
@@ -61,6 +71,8 @@ func main() {
 		retries     = flag.Int("retries", 0, "per-batch attempt budget (default 3)")
 		checkpoint  = flag.String("checkpoint", "", "checkpoint state file (required unless -spool-dir is set)")
 		spoolDir    = flag.String("spool-dir", "", "spool shard directory (derived from -checkpoint if empty)")
+		storeDir    = flag.String("store-dir", "", "ingest streamed pages into a columnar store at this directory")
+		queryAddr   = flag.String("query-addr", "", "serve the store query API on this address (requires -store-dir)")
 		resume      = flag.Bool("resume", false, "resume an interrupted crawl from its checkpoint")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar + pprof on this address (\":0\" picks a port)")
 		progress    = flag.Duration("progress", 0, "print progress to stderr at this interval (0 = off)")
@@ -126,6 +138,41 @@ func main() {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "wscoordd: "+format+"\n", args...)
 	}
+
+	var store *colstore.Store
+	if *queryAddr != "" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "wscoordd: -query-addr requires -store-dir")
+		os.Exit(2)
+	}
+	if *storeDir != "" {
+		nshards := *shards
+		if nshards <= 0 {
+			nshards = 8
+		}
+		st, serr := colstore.Open(colstore.Config{
+			Dir:       *storeDir,
+			NumShards: nshards,
+			Meta:      core.FabricDatasetMeta(spec),
+			Resume:    *resume,
+		})
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "wscoordd:", serr)
+			os.Exit(1)
+		}
+		store = st
+		defer store.Close()
+		if *queryAddr != "" {
+			ln, lerr := net.Listen("tcp", *queryAddr)
+			if lerr != nil {
+				fmt.Fprintln(os.Stderr, "wscoordd:", lerr)
+				os.Exit(1)
+			}
+			defer ln.Close()
+			go func() { _ = http.Serve(ln, colstore.NewHandler(store)) }()
+			fmt.Fprintf(os.Stderr, "wscoordd: query API on http://%s (live: /dataset, /tables, /chains)\n", ln.Addr())
+		}
+	}
+
 	coord, err := core.StartFabricCoordinator(opts, spec, core.FabricCoordinatorOptions{
 		Addr:           *addr,
 		BatchSize:      *batchSize,
@@ -135,6 +182,7 @@ func main() {
 		CheckpointPath: cp,
 		SpoolDir:       sd,
 		Resume:         *resume,
+		Store:          store,
 		FaultProfile:   *faultProf,
 		FaultSeed:      *faultSeed,
 		Logf:           logf,

@@ -6,7 +6,8 @@
 //	wscrawl -out crawl1.json [-era pre|post] [-index N] [-publishers N]
 //	        [-workers N] [-pages N] [-seed S] [-version 57]
 //	        [-checkpoint FILE] [-spool-dir DIR] [-resume] [-retries N]
-//	        [-shards N] [-metrics-addr HOST:PORT] [-progress DUR]
+//	        [-shards N] [-store] [-store-dir DIR]
+//	        [-metrics-addr HOST:PORT] [-progress DUR]
 //	        [-fault-profile NAME] [-fault-seed S]
 //	wscrawl -worker ws://HOST:PORT/fabric [-worker-name NAME] [-workers N]
 //	        [-seed S] [-fault-profile NAME] [-fault-seed S]
@@ -34,6 +35,13 @@
 // without re-visiting completed sites. The dataset is always written
 // atomically (temp file + rename), so a crash cannot leave a truncated
 // JSON file behind.
+//
+// -store additionally streams every page into an embedded columnar
+// store (internal/colstore) next to the spool, sealed durably at each
+// checkpoint, so the dataset is queryable with wsquery while the crawl
+// runs and after it finishes. -store-dir overrides the store location
+// (and implies -store). Requires the durable orchestrator. See
+// OPERATIONS.md "Query service".
 //
 // -metrics-addr serves expvar (/debug/vars) and pprof (/debug/pprof)
 // on the given address (":0" picks a port, printed to stderr).
@@ -74,6 +82,8 @@ func main() {
 		resume      = flag.Bool("resume", false, "resume an interrupted crawl from its checkpoint")
 		retries     = flag.Int("retries", 0, "per-site attempt budget for the orchestrator (default 3)")
 		shards      = flag.Int("shards", 0, "spool shard count (default 8)")
+		storeFlag   = flag.Bool("store", false, "stream pages into an embedded columnar store (requires the durable orchestrator; query with wsquery)")
+		storeDir    = flag.String("store-dir", "", "columnar store directory (default: <spool parent>/store-crawl<index>; implies -store)")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar + pprof on this address (\":0\" picks a port)")
 		progress    = flag.Duration("progress", 0, "print progress to stderr at this interval (0 = off)")
 		faultProf   = flag.String("fault-profile", "", "inject network faults from this profile: "+strings.Join(faultnet.Names(), ", "))
@@ -152,6 +162,7 @@ func main() {
 		FaultProfile: *faultProf, FaultSeed: *faultSeed,
 	}
 
+	opts.Store = *storeFlag || *storeDir != ""
 	if *checkpoint != "" || *spoolDir != "" || *resume {
 		cp, sd := *checkpoint, *spoolDir
 		// Derive whichever of the two paths was not given from the
@@ -162,13 +173,21 @@ func main() {
 		if cp == "" {
 			cp = filepath.Join(sd, "checkpoint.json")
 		}
+		st := *storeDir
+		if st == "" && opts.Store {
+			st = filepath.Join(filepath.Dir(sd), fmt.Sprintf("store-crawl%d", *index))
+		}
 		opts.Dispatch = &core.DispatchOptions{
 			CheckpointPath: cp,
 			SpoolDir:       sd,
+			StoreDir:       st,
 			Resume:         *resume,
 			MaxAttempts:    *retries,
 			NumShards:      *shards,
 		}
+	} else if opts.Store {
+		fmt.Fprintln(os.Stderr, "wscrawl: -store requires the durable orchestrator; pass -checkpoint or -spool-dir")
+		os.Exit(2)
 	}
 
 	res, err := core.RunCrawl(context.Background(), opts, spec)
@@ -188,5 +207,9 @@ func main() {
 	if d := res.Dispatch; d != nil {
 		fmt.Fprintf(os.Stderr, "wscrawl: dispatch: %d/%d sites done, %d failed, %d retries, %d lease requeues, %d resumed from checkpoint\n",
 			d.Progress.Done, d.Progress.Total, d.Progress.Failed, d.Progress.Retries, d.Progress.Requeues, d.ResumedDone)
+	}
+	if opts.Store {
+		fmt.Fprintf(os.Stderr, "wscrawl: columnar store sealed at %s (query with: wsquery -store-dir %s -addr :0)\n",
+			opts.Dispatch.StoreDir, opts.Dispatch.StoreDir)
 	}
 }

@@ -186,9 +186,25 @@ type MergeStats struct {
 	// (site, pageURL) was already merged — re-crawled sites after a
 	// resume land here.
 	Duplicates int
-	// Truncated counts shards whose final line was incomplete (a crash
-	// mid-append); the partial line is ignored.
+	// Truncated counts shards ending in an *unterminated* trailing
+	// fragment (a crash mid-append); the fragment is ignored. Only a
+	// missing final newline qualifies: a newline-terminated line that
+	// fails to decode was written complete and is corruption, which
+	// fails the merge outright no matter where in the shard it sits.
 	Truncated int
+}
+
+// MergeOptions tunes a merge beyond MergeShards' defaults.
+type MergeOptions struct {
+	// MinShardBytes, when non-nil, is parallel to the shard paths: each
+	// entry is that shard's durable extent as recorded by a dispatch
+	// checkpoint (Checkpoint.ShardBytes). The checkpoint vouches that
+	// every byte before the extent is part of a complete, flushed line,
+	// so a torn (unterminated) tail starting inside the extent means
+	// durable data has gone missing and the merge fails hard instead of
+	// skipping it. Tails beginning at or past the extent remain ordinary
+	// crash remnants and are tolerated.
+	MinShardBytes []int64
 }
 
 // MergeShards streams PageRecords out of spool shard files and folds
@@ -204,15 +220,27 @@ type MergeStats struct {
 // Merge throughput is recorded in the obs registry (merge.pages,
 // merge.duplicates, stage.merge).
 func MergeShards(meta DatasetMeta, paths []string) (*Dataset, MergeStats, error) {
+	return MergeShardsOpts(meta, paths, MergeOptions{})
+}
+
+// MergeShardsOpts is MergeShards with checkpoint-aware strictness: when
+// opts.MinShardBytes records the durable extents a checkpoint vouched
+// for, torn tails inside those extents fail the merge instead of being
+// skipped as crash remnants.
+func MergeShardsOpts(meta DatasetMeta, paths []string, opts MergeOptions) (*Dataset, MergeStats, error) {
 	mergeSpan := obs.StartSpan(obs.StageMerge)
 	agg := newShardMerger(meta)
 	stats := MergeStats{Shards: len(paths)}
-	// One scan buffer serves every shard: bufio.Scanner never hands the
-	// buffer out past Scan, so sequential shard merges can share it
-	// instead of re-allocating 64 KiB per file.
-	buf := make([]byte, 64*1024)
-	for _, path := range paths {
-		if err := mergeShardFile(path, buf, agg, &stats); err != nil {
+	// One read buffer serves every shard: the reader never hands bytes
+	// out past the fold of the line they belong to, so sequential shard
+	// merges can share it instead of re-allocating 64 KiB per file.
+	br := bufio.NewReaderSize(nil, 64*1024)
+	for i, path := range paths {
+		var min int64
+		if i < len(opts.MinShardBytes) {
+			min = opts.MinShardBytes[i]
+		}
+		if err := mergeShardFile(path, br, agg, &stats, min); err != nil {
 			return nil, stats, err
 		}
 	}
@@ -223,32 +251,49 @@ func MergeShards(meta DatasetMeta, paths []string) (*Dataset, MergeStats, error)
 	return ds, stats, nil
 }
 
-// mergeShardFile streams one shard into the merger. A malformed final
-// line (crash mid-write) is tolerated; malformed interior lines are
-// corruption and fail the merge.
-func mergeShardFile(path string, buf []byte, agg *shardMerger, stats *MergeStats) error {
+// mergeShardFile streams one shard into the merger, tracking byte
+// offsets so trailing fragments can be judged against the durable
+// extent a checkpoint recorded (minBytes; 0 when no checkpoint spoke
+// for this shard). Only an *unterminated* trailing fragment can be a
+// crash torn mid-append, and only when it starts at or past minBytes —
+// inside the extent the checkpoint promised complete lines, so a torn
+// tail there means durable data went missing. A newline-terminated
+// line that fails to decode was written complete; that is corruption
+// and fails the merge regardless of position, final line included.
+func mergeShardFile(path string, br *bufio.Reader, agg *shardMerger, stats *MergeStats, minBytes int64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("analysis: open shard: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(buf, 64*1024*1024)
-	var pending error
+	br.Reset(f)
+	var off int64
 	line := 0
-	for sc.Scan() {
-		if pending != nil {
-			return fmt.Errorf("analysis: shard %s line %d: %w", path, line, pending)
+	for {
+		raw, err := br.ReadBytes('\n')
+		start := off
+		off += int64(len(raw))
+		if err == io.EOF {
+			if len(raw) == 0 {
+				return nil
+			}
+			if start < minBytes {
+				return fmt.Errorf("analysis: shard %s: torn line at offset %d inside the checkpoint's durable extent (%d bytes) — the spool lost data the checkpoint vouched for", path, start, minBytes)
+			}
+			stats.Truncated++
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("analysis: read shard %s: %w", path, err)
 		}
 		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
+		trimmed := raw[:len(raw)-1]
+		if len(trimmed) == 0 {
 			continue
 		}
-		rec, err := DecodeSpoolLine(raw)
-		if err != nil {
-			pending = err // fatal only if more lines follow
-			continue
+		rec, derr := DecodeSpoolLine(trimmed)
+		if derr != nil {
+			return fmt.Errorf("analysis: shard %s line %d: %w", path, line, derr)
 		}
 		if agg.fold(rec) {
 			stats.Pages++
@@ -256,13 +301,6 @@ func mergeShardFile(path string, buf []byte, agg *shardMerger, stats *MergeStats
 			stats.Duplicates++
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("analysis: read shard %s: %w", path, err)
-	}
-	if pending != nil {
-		stats.Truncated++
-	}
-	return nil
 }
 
 // Folder folds PageRecords into a Dataset incrementally as pages
@@ -297,6 +335,52 @@ func (f *Folder) Fold(rec *PageRecord) bool {
 	}
 	f.dup++
 	return false
+}
+
+// Snapshot assembles the canonical Dataset from the records folded so
+// far without closing the fold: it records no merge metrics and may be
+// called repeatedly, with folds continuing in between. Each call
+// re-derives D′ and re-sorts from the accumulated aggregates, so a
+// snapshot taken after the last fold is byte-identical to Finalize's
+// dataset. The returned dataset shares no mutable state with the fold
+// (the per-domain HTTP aggregates are copied), making it safe to serve
+// to concurrent readers while the crawl keeps folding — this is what
+// backs the columnar store's live query path.
+func (f *Folder) Snapshot() (*Dataset, MergeStats) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ds := f.agg.finalize()
+	http := make(map[string]*DomainTraffic, len(ds.HTTPByDomain))
+	for dom, t := range ds.HTTPByDomain {
+		cp := *t
+		cp.SentItems = copyCounts(t.SentItems)
+		cp.RecvClasses = copyCounts(t.RecvClasses)
+		http[dom] = &cp
+	}
+	ds.HTTPByDomain = http
+	return ds, MergeStats{Pages: f.n, Duplicates: f.dup}
+}
+
+// ObsCounts returns copies of the folded labeler observation deltas:
+// per-domain A&A hits, non-A&A hits, and opaque-CDN adjacency counts.
+// These are the inputs the §3.2 threshold rule derives D′ from; the
+// query service's labels endpoint exposes them alongside the derived
+// flag.
+func (f *Folder) ObsCounts() (aa, non, cdn map[string]int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return copyCounts(f.agg.aa), copyCounts(f.agg.non), copyCounts(f.agg.cdn)
+}
+
+func copyCounts(m map[string]int) map[string]int {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // Finalize assembles the canonical Dataset and the fold's merge stats.

@@ -1,0 +1,40 @@
+package colstore
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// SyncDir fsyncs a directory, making previously renamed/created entries
+// in it durable.
+//
+// The rename-durability contract: writing a temp file, fsyncing it, and
+// renaming it over the target makes the *contents* durable and the swap
+// atomic against crashes of this process — but the rename itself lives
+// in the parent directory's entry table, which the kernel is free to
+// hold dirty in cache. On power loss after the rename but before the
+// directory flushes, the directory can come back pointing at the old
+// file, or at nothing. Every atomic-publish path (checkpoints, dataset
+// exports, segment seals) must therefore end with SyncDir on the parent
+// directory; only then may the caller treat the publish as durable —
+// e.g. record a spool extent, ack a batch, or report a segment sealed.
+//
+// Each successful sync is counted in store.dir_syncs, which is also
+// what the regression tests observe to prove the contract holds.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("colstore: sync dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("colstore: sync dir %s: %w", dir, err)
+	}
+	obs.StoreDirSyncs.Add(1)
+	return nil
+}

@@ -1,0 +1,250 @@
+package colstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func queryStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := Open(Config{Dir: t.TempDir(), NumShards: 2, Meta: testMeta()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range allRecords() {
+		if _, err := st.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestEngineSites(t *testing.T) {
+	e := NewEngine(queryStore(t))
+	all := e.Sites(SitesQuery{})
+	if len(all) != 3 {
+		t.Fatalf("sites = %d, want 3", len(all))
+	}
+	if all[0].Rank != 1 || all[1].Rank != 2 || all[2].Rank != 3 {
+		t.Errorf("sites out of rank order: %+v", all)
+	}
+	if got := e.Sites(SitesQuery{Domain: "news.com"}); len(got) != 1 || got[0].Domain != "news.com" {
+		t.Errorf("domain filter: %+v", got)
+	}
+	if got := e.Sites(SitesQuery{MinRank: 2, MaxRank: 2}); len(got) != 1 || got[0].Rank != 2 {
+		t.Errorf("rank filter: %+v", got)
+	}
+	if got := e.Sites(SitesQuery{WithSockets: true}); len(got) != 3 {
+		t.Errorf("withSockets filter: %+v", got)
+	}
+}
+
+func TestEngineChains(t *testing.T) {
+	e := NewEngine(queryStore(t))
+	all := e.Chains(ChainsQuery{})
+	// Each site ingested 4 pages; even pages carry one socket → 2 each.
+	if all.Total != 6 || len(all.Sockets) != 6 {
+		t.Fatalf("total = %d (%d listed), want 6", all.Total, len(all.Sockets))
+	}
+	if got := e.Chains(ChainsQuery{Site: "pub.com"}); got.Total != 2 {
+		t.Errorf("site filter total = %d, want 2", got.Total)
+	}
+	if got := e.Chains(ChainsQuery{Receiver: "tracker.com"}); got.Total != 6 {
+		t.Errorf("receiver filter total = %d, want 6", got.Total)
+	}
+	if got := e.Chains(ChainsQuery{ChainContains: "news.com"}); got.Total != 2 {
+		t.Errorf("chain-contains total = %d, want 2", got.Total)
+	}
+	// tracker.com accumulates A&A observations with zero non-A&A, so it
+	// lands in D′ and every socket is A&A-received.
+	if got := e.Chains(ChainsQuery{AA: "received"}); got.Total != 6 {
+		t.Errorf("aa=received total = %d, want 6", got.Total)
+	}
+	if got := e.Chains(ChainsQuery{AA: "none"}); got.Total != 0 {
+		t.Errorf("aa=none total = %d, want 0", got.Total)
+	}
+	blocked := true
+	if got := e.Chains(ChainsQuery{Blocked: &blocked}); got.Total != 3 {
+		t.Errorf("blocked filter total = %d, want 3 (page 0 of each site)", got.Total)
+	}
+	if got := e.Chains(ChainsQuery{Limit: 2}); got.Total != 6 || len(got.Sockets) != 2 {
+		t.Errorf("limit: total %d, listed %d", got.Total, len(got.Sockets))
+	}
+
+	groups := e.Chains(ChainsQuery{GroupBy: "site"})
+	if len(groups.Groups) != 3 || groups.Sockets != nil {
+		t.Fatalf("groupBy site: %+v", groups)
+	}
+	for _, g := range groups.Groups {
+		if g.Sockets != 2 || g.Blocked != 1 {
+			t.Errorf("group %+v, want 2 sockets / 1 blocked", g)
+		}
+	}
+	pair := e.Chains(ChainsQuery{GroupBy: "pair"})
+	if len(pair.Groups) != 1 || pair.Groups[0].Key != "tracker.com -> tracker.com" || pair.Groups[0].Sockets != 6 {
+		t.Errorf("groupBy pair: %+v", pair.Groups)
+	}
+}
+
+func TestEngineLabels(t *testing.T) {
+	e := NewEngine(queryStore(t))
+	rows := e.Labels(LabelsQuery{})
+	byDom := map[string]LabelRow{}
+	for _, r := range rows {
+		byDom[r.Domain] = r
+	}
+	tr, ok := byDom["tracker.com"]
+	if !ok || !tr.AA || tr.AAObs == 0 {
+		t.Errorf("tracker.com row: %+v", tr)
+	}
+	cdn, ok := byDom["cdn.com"]
+	if !ok || cdn.AA || cdn.NonAA == 0 {
+		t.Errorf("cdn.com row: %+v", cdn)
+	}
+	if only := e.Labels(LabelsQuery{OnlyAA: true}); len(only) != 1 || only[0].Domain != "tracker.com" {
+		t.Errorf("onlyAA: %+v", only)
+	}
+}
+
+// TestEngineSnapshotCache: queries between ingests reuse one snapshot;
+// an ingest invalidates it.
+func TestEngineSnapshotCache(t *testing.T) {
+	st := queryStore(t)
+	e := NewEngine(st)
+	ds1, _ := e.Dataset()
+	ds2, _ := e.Dataset()
+	if ds1 != ds2 {
+		t.Error("unchanged store rebuilt its snapshot")
+	}
+	if _, err := st.Ingest(testRecord("fresh.com", 9, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ds3, _ := e.Dataset()
+	if ds3 == ds1 {
+		t.Error("snapshot not invalidated by ingest")
+	}
+	if len(ds3.Sites) != len(ds1.Sites)+1 {
+		t.Errorf("new snapshot has %d sites, want %d", len(ds3.Sites), len(ds1.Sites)+1)
+	}
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestHTTPQueryService(t *testing.T) {
+	st := queryStore(t)
+	srv := httptest.NewServer(NewHandler(st))
+	defer srv.Close()
+
+	// /dataset must serve exactly the store-derived dataset bytes — the
+	// oracle-comparison endpoint.
+	ds, _ := st.Dataset()
+	status, body := get(t, srv.URL+"/dataset")
+	if status != http.StatusOK || !bytes.Equal(body, datasetBytes(t, ds)) {
+		t.Errorf("/dataset: status %d, byte match %v", status, bytes.Equal(body, datasetBytes(t, ds)))
+	}
+
+	status, body = get(t, srv.URL+"/tables?table=1&format=text")
+	if status != http.StatusOK || !strings.Contains(string(body), "% Sites w/ Sockets") {
+		t.Errorf("/tables text: status %d body %q", status, body)
+	}
+	status, body = get(t, srv.URL+"/tables?table=5")
+	if status != http.StatusOK || !json.Valid(body) {
+		t.Errorf("/tables json: status %d", status)
+	}
+	if status, _ := get(t, srv.URL+"/tables?table=9"); status != http.StatusBadRequest {
+		t.Errorf("/tables?table=9 status %d, want 400", status)
+	}
+
+	status, body = get(t, srv.URL+"/sites?withSockets=true")
+	var sites []analysis.SiteSummary
+	if status != http.StatusOK || json.Unmarshal(body, &sites) != nil || len(sites) != 3 {
+		t.Errorf("/sites: status %d, %d sites", status, len(sites))
+	}
+
+	status, body = get(t, srv.URL+"/chains?groupBy=receiver")
+	var chains ChainsResult
+	if status != http.StatusOK || json.Unmarshal(body, &chains) != nil || chains.Total != 6 {
+		t.Errorf("/chains: status %d total %d", status, chains.Total)
+	}
+	if status, _ := get(t, srv.URL+"/chains?aa=nope"); status != http.StatusBadRequest {
+		t.Errorf("/chains bad aa: status %d, want 400", status)
+	}
+
+	status, body = get(t, srv.URL+"/labels?onlyAA=true")
+	var labels []LabelRow
+	if status != http.StatusOK || json.Unmarshal(body, &labels) != nil || len(labels) != 1 {
+		t.Errorf("/labels: status %d rows %d", status, len(labels))
+	}
+
+	status, body = get(t, srv.URL+"/storestats")
+	var stats Stats
+	if status != http.StatusOK || json.Unmarshal(body, &stats) != nil || stats.Pages != 12 {
+		t.Errorf("/storestats: status %d %+v", status, stats)
+	}
+}
+
+// TestHTTPRefreshFollowsSeals: a query service over a read-only store
+// picks up segments sealed after it started via /refresh — the
+// live-crawl query path across processes.
+func TestHTTPRefreshFollowsSeals(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Config{Dir: dir, NumShards: 2, Meta: testMeta()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := allRecords()
+	for _, rec := range recs[:6] {
+		if _, err := st.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(ro))
+	defer srv.Close()
+
+	for _, rec := range recs[6:] {
+		if _, err := st.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body := get(t, srv.URL+"/refresh")
+	var stats Stats
+	if status != http.StatusOK || json.Unmarshal(body, &stats) != nil || stats.Pages != len(recs) {
+		t.Fatalf("/refresh: status %d %+v, want %d pages", status, stats, len(recs))
+	}
+	_, body = get(t, srv.URL+"/dataset")
+	want, _ := st.Dataset()
+	if !bytes.Equal(body, datasetBytes(t, want)) {
+		t.Error("reader /dataset differs from writer's dataset after refresh")
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/browser"
+	"repro/internal/colstore"
 	"repro/internal/crawler"
 	"repro/internal/dispatch"
 	"repro/internal/faultnet"
@@ -82,6 +83,15 @@ type Options struct {
 	// (TestPipelineDifferential), the same pattern filterlist uses for
 	// its reference matcher.
 	ReferencePipeline bool
+	// Store routes dispatch-path crawls through the embedded columnar
+	// store (internal/colstore): every page record is ingested as it
+	// arrives, segments seal atomically at each checkpoint boundary, and
+	// the crawl's dataset is served from the store's incremental
+	// aggregate instead of the end-of-run spool merge. The spool stays
+	// behind as the differential oracle — store-derived tables are
+	// byte-identical to merge-derived ones (TestStoreDifferential).
+	// Requires Dispatch; the sealed store is queryable with cmd/wsquery.
+	Store bool
 	// FaultProfile, when non-empty, names a faultnet profile (see
 	// faultnet.Names) injected on both sides of the wire: uniformly on
 	// the web server's listener and per-socket on every browser's
@@ -98,10 +108,12 @@ type DispatchOptions struct {
 	// (crawlN.checkpoint.json, spool-crawlN/). Required unless both
 	// CheckpointPath and SpoolDir are set for a single-crawl run.
 	StateDir string
-	// CheckpointPath / SpoolDir override the StateDir-derived layout
-	// for single-crawl use (cmd/wscrawl's -checkpoint / -spool-dir).
+	// CheckpointPath / SpoolDir / StoreDir override the StateDir-derived
+	// layout for single-crawl use (cmd/wscrawl's -checkpoint /
+	// -spool-dir / -store-dir).
 	CheckpointPath string
 	SpoolDir       string
+	StoreDir       string
 	// Resume continues an interrupted crawl from its checkpoint.
 	Resume bool
 	// NumShards is the spool shard count (default 8).
@@ -131,6 +143,14 @@ func (d *DispatchOptions) spoolDir(spec CrawlSpec) string {
 	return filepath.Join(d.StateDir, fmt.Sprintf("spool-crawl%d", spec.CrawlIndex))
 }
 
+// storeDir resolves the columnar store directory for one crawl.
+func (d *DispatchOptions) storeDir(spec CrawlSpec) string {
+	if d.StoreDir != "" {
+		return d.StoreDir
+	}
+	return filepath.Join(d.StateDir, fmt.Sprintf("store-crawl%d", spec.CrawlIndex))
+}
+
 // DefaultOptions returns the laptop-scale defaults.
 func DefaultOptions() Options {
 	return Options{
@@ -157,6 +177,9 @@ type CrawlResult struct {
 // resumable); otherwise it is a one-shot in-memory pass.
 func RunCrawl(ctx context.Context, opts Options, spec CrawlSpec) (*CrawlResult, error) {
 	opts = withDefaults(opts)
+	if opts.Store && opts.Dispatch == nil {
+		return nil, fmt.Errorf("core: crawl %q: Options.Store requires the dispatch path (set Options.Dispatch)", spec.Name)
+	}
 	world := webgen.NewWorld(webgen.Config{
 		Seed:          opts.Seed,
 		NumPublishers: opts.NumPublishers,
@@ -231,13 +254,31 @@ func RunCrawl(ctx context.Context, opts Options, spec CrawlSpec) (*CrawlResult, 
 func runCrawlDispatch(ctx context.Context, opts Options, spec CrawlSpec, server *webserver.Server, lab *labeler.Labeler, sites []crawler.Site, fault faultnet.Profile, faultSeed int64) (*CrawlResult, error) {
 	d := opts.Dispatch
 	crawlSeed := opts.Seed + int64(spec.CrawlIndex)
+	meta := analysis.DatasetMeta{
+		Name:       spec.Name,
+		Era:        spec.Era.String(),
+		CrawlIndex: spec.CrawlIndex,
+	}
+	var store *colstore.Store
+	if opts.Store {
+		shards := d.NumShards
+		if shards <= 0 {
+			shards = 8 // mirror the dispatch spool default
+		}
+		st, err := colstore.Open(colstore.Config{
+			Dir:       d.storeDir(spec),
+			NumShards: shards,
+			Meta:      meta,
+			Resume:    d.Resume,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: crawl %q: %w", spec.Name, err)
+		}
+		store = st
+	}
 	res, err := dispatch.Run(ctx, dispatch.Config{
-		Name: spec.Name,
-		Meta: analysis.DatasetMeta{
-			Name:       spec.Name,
-			Era:        spec.Era.String(),
-			CrawlIndex: spec.CrawlIndex,
-		},
+		Name:             spec.Name,
+		Meta:             meta,
 		Sites:            sites,
 		Workers:          opts.Workers,
 		PagesPerSite:     opts.PagesPerSite,
@@ -254,7 +295,8 @@ func runCrawlDispatch(ctx context.Context, opts Options, spec CrawlSpec, server 
 		},
 		Recorder:        &analysis.Recorder{Label: lab, Pooled: !opts.ReferencePipeline},
 		Batch:           spoolBatch(opts),
-		FoldLive:        !opts.ReferencePipeline,
+		FoldLive:        !opts.ReferencePipeline && !opts.Store,
+		Store:           store,
 		SpoolDir:        d.spoolDir(spec),
 		NumShards:       d.NumShards,
 		CheckpointPath:  d.checkpointPath(spec),
@@ -263,6 +305,13 @@ func runCrawlDispatch(ctx context.Context, opts Options, spec CrawlSpec, server 
 		Retry:           dispatch.RetryPolicy{MaxAttempts: d.MaxAttempts},
 		LeaseTTL:        d.LeaseTTL,
 	})
+	if store != nil {
+		// Seal the tail segments so the on-disk store holds the complete
+		// crawl (wsquery over a finished crawl needs no live process).
+		if cerr := store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: crawl %q: %w", spec.Name, err)
 	}

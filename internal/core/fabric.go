@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/browser"
+	"repro/internal/colstore"
 	"repro/internal/crawler"
 	"repro/internal/dispatch"
 	"repro/internal/fabric"
@@ -233,6 +234,12 @@ type FabricCoordinatorOptions struct {
 	SpoolDir       string
 	// Resume continues from CheckpointPath instead of starting fresh.
 	Resume bool
+	// Store, when set, receives every streamed page record as it
+	// arrives and seals at checkpoint boundaries (see
+	// fabric.CoordinatorConfig.Store). Open it with the crawl's
+	// FabricDatasetMeta and a Resume flag matching this config's; the
+	// caller keeps ownership and closes it after the coordinator.
+	Store *colstore.Store
 	// FaultProfile, when non-empty, degrades every worker link with the
 	// named faultnet profile, keyed on FaultSeed.
 	FaultProfile string
@@ -264,6 +271,7 @@ func StartFabricCoordinator(opts Options, spec CrawlSpec, fo FabricCoordinatorOp
 		CheckpointPath: fo.CheckpointPath,
 		SpoolDir:       fo.SpoolDir,
 		Resume:         fo.Resume,
+		Store:          fo.Store,
 		Fault:          fault,
 		FaultSeed:      fo.FaultSeed,
 		Logf:           fo.Logf,

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/colstore"
 )
 
 // CheckpointVersion is the on-disk format version. Version 2 added the
@@ -136,7 +138,12 @@ func (c *Checkpoint) Compatible(path, name string, seed int64, numShards, pagesP
 // WriteAtomic writes a file via a temp file in the same directory plus
 // os.Rename, so readers never observe a partial write and a crash
 // cannot truncate an existing file. The write callback receives a
-// buffered writer that is flushed and synced before the rename.
+// buffered writer that is flushed and synced before the rename. After
+// the rename the parent directory is fsynced (colstore.SyncDir has the
+// full contract): without it the rename only exists in the directory's
+// dirty cache, and power loss could resurrect the old checkpoint — or
+// delete a first-generation one outright — after the caller already
+// treated the new state as durable.
 func WriteAtomic(path string, write func(w io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
@@ -160,6 +167,9 @@ func WriteAtomic(path string, write func(w io.Writer) error) (err error) {
 	}
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("dispatch: atomic write %s: rename: %w", path, err)
+	}
+	if err = colstore.SyncDir(dir); err != nil {
+		return fmt.Errorf("dispatch: atomic write %s: %w", path, err)
 	}
 	return nil
 }

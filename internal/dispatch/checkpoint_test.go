@@ -2,11 +2,16 @@ package dispatch
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/crawler"
+	"repro/internal/obs"
 )
 
 func TestCheckpointRoundTrip(t *testing.T) {
@@ -69,6 +74,97 @@ func TestLoadCheckpointRejectsBadVersion(t *testing.T) {
 	}
 	if _, err := LoadCheckpoint(path); err == nil {
 		t.Error("future version accepted")
+	}
+}
+
+// TestWriteAtomicSyncsParentDir: rename-based atomic writes are only
+// crash-durable once the parent directory's entry is synced — without
+// it, power loss after the rename can leave the directory pointing at
+// the old file or at nothing. The dir-sync helper counts each
+// successful directory sync in store.dir_syncs; every WriteAtomic must
+// perform one.
+func TestWriteAtomicSyncsParentDir(t *testing.T) {
+	before := obs.Default.Snapshot().Counters["store.dir_syncs"]
+	path := filepath.Join(t.TempDir(), "data.json")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "x")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := obs.Default.Snapshot().Counters["store.dir_syncs"]
+	if after <= before {
+		t.Errorf("WriteAtomic did not sync the parent directory (store.dir_syncs %d -> %d)", before, after)
+	}
+}
+
+// TestCheckpointExtentsCoverBufferedGroups pins the writeCheckpoint
+// group-commit audit: a checkpoint must never record spool extents that
+// precede a buffered-but-unflushed group, nor vouch for sites whose
+// pages are still in a write buffer. writeCheckpoint's safe ordering is
+// jobs-snapshot → Flush → ShardSizes: any site done at snapshot time
+// appended its pages before the snapshot, so the flush that follows
+// covers them, and the recorded extents equal the durable on-disk
+// sizes. This test holds appends in a group-commit buffer (batch
+// thresholds too high to trip), checkpoints, and requires the recorded
+// extents to match disk and cover every appended byte.
+func TestCheckpointExtentsCoverBufferedGroups(t *testing.T) {
+	dir := t.TempDir()
+	spool, err := OpenSpoolBatch(dir, 2, false, BatchPolicy{Pages: 1 << 20, Bytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spool.Close()
+	for i := 0; i < 5; i++ {
+		rec := &analysis.PageRecord{Site: "pub.com", Rank: 1, PageURL: fmt.Sprintf("http://pub.com/p%d", i)}
+		if err := spool.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Precondition: the appends really are sitting in the group buffer.
+	pre, err := spool.ShardSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range pre {
+		if b != 0 {
+			t.Fatalf("shard %d has %d bytes on disk before any flush; batch policy did not buffer", i, b)
+		}
+	}
+
+	sites := []crawler.Site{{Domain: "pub.com", Rank: 1}}
+	cpPath := filepath.Join(dir, "cp.json")
+	o := &orchestrator{
+		cfg: Config{
+			Name: "t", Seed: 1, NumShards: 2, PagesPerSite: 5,
+			Sites: sites, CheckpointPath: cpPath,
+		},
+		queue: NewQueue(sites, QueueConfig{Seed: 1}),
+		spool: spool,
+	}
+	if err := o.writeCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(cpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := spool.ShardSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.ShardBytes) != len(disk) {
+		t.Fatalf("checkpoint recorded %d shard extents, spool has %d shards", len(cp.ShardBytes), len(disk))
+	}
+	var total int64
+	for i, b := range cp.ShardBytes {
+		if b != disk[i] {
+			t.Errorf("shard %d: checkpoint extent %d != on-disk size %d", i, b, disk[i])
+		}
+		total += b
+	}
+	if total == 0 {
+		t.Error("checkpoint recorded empty extents while appends sat in the group buffer — the buffered group was never flushed before the extents were read")
 	}
 }
 

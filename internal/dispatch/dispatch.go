@@ -52,6 +52,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/browser"
+	"repro/internal/colstore"
 	"repro/internal/crawler"
 	"repro/internal/obs"
 )
@@ -112,6 +113,16 @@ type Config struct {
 	// aggregation and deduplication as the merge, and finalize imposes
 	// the canonical order.
 	FoldLive bool
+
+	// Store, when set, ingests every spooled page record into the
+	// columnar store as it arrives and derives the final dataset from it
+	// instead of the merge/fold paths. Segments seal at the checkpoint
+	// group-commit boundary (after the spool flush, before the
+	// checkpoint is published), so a checkpoint never marks a site done
+	// whose pages are not in a durable segment. Open the store with
+	// Resume matching this config's Resume so its replayed segments and
+	// the spool agree.
+	Store *colstore.Store
 
 	// OnPage, when set, observes every page after its record has been
 	// spooled (progress reporting, fault-injection tests).
@@ -239,6 +250,19 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return res, crawlErr
 	}
 
+	if cfg.Store != nil {
+		// The store folded every record at ingest (this run's pages
+		// live, prior runs' via sealed-segment replay at open), so the
+		// dataset comes straight from it; the final writeCheckpoint
+		// above already sealed the tail. The spool stays behind as the
+		// merge oracle's input.
+		if err := spool.Flush(); err != nil {
+			return res, err
+		}
+		res.Dataset, res.Merge = cfg.Store.Finalize()
+		return res, nil
+	}
+
 	if o.folder != nil {
 		// The dataset was folded live; the spool (flushed below for the
 		// deferred Close's benefit) served only as the durable resume
@@ -252,11 +276,19 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	// Flush any group-commit tail so the shards are fully readable here
-	// even before the deferred Close.
+	// even before the deferred Close. After the flush every appended
+	// byte is durable, so the shard sizes are exactly the extent a
+	// checkpoint would vouch for — merge with them as the floor, turning
+	// any torn tail into the hard error it is at this point (crash
+	// remnants were already repaired at open on a resume).
 	if err := spool.Flush(); err != nil {
 		return res, err
 	}
-	ds, mstats, err := analysis.MergeShards(cfg.Meta, spool.Paths())
+	sizes, err := spool.ShardSizes()
+	if err != nil {
+		return res, err
+	}
+	ds, mstats, err := analysis.MergeShardsOpts(cfg.Meta, spool.Paths(), analysis.MergeOptions{MinShardBytes: sizes})
 	if err != nil {
 		return res, err
 	}
@@ -355,6 +387,19 @@ func (o *orchestrator) onPage(site crawler.Site, pageURL string, res *browser.Pa
 	if o.folder != nil {
 		o.folder.Fold(rec)
 	}
+	if o.cfg.Store != nil {
+		// Ingest after the spool append: the spool stays the superset
+		// the differential oracle merges, and a record the store sealed
+		// is always recoverable from the spool too.
+		if _, err := o.cfg.Store.Ingest(rec); err != nil {
+			o.mu.Lock()
+			if o.spoolFailed == nil {
+				o.spoolFailed = err
+			}
+			o.mu.Unlock()
+			return
+		}
+	}
 	o.mu.Lock()
 	l := o.active[site.Domain]
 	o.mu.Unlock()
@@ -402,6 +447,13 @@ func (o *orchestrator) writeCheckpoint() error {
 	// mark a site done while its pages sit in a write buffer.
 	if err := o.spool.Flush(); err != nil {
 		return err
+	}
+	if o.cfg.Store != nil {
+		// Seal at the same boundary: every site this checkpoint marks
+		// done must be replayable from sealed segments on resume.
+		if err := o.cfg.Store.Seal(); err != nil {
+			return err
+		}
 	}
 	if sizes, err := o.spool.ShardSizes(); err == nil {
 		cp.ShardBytes = sizes

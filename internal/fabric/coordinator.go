@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/colstore"
 	"repro/internal/crawler"
 	"repro/internal/dispatch"
 	"repro/internal/fabric/wire"
@@ -53,6 +54,14 @@ type CoordinatorConfig struct {
 	// Resume loads CheckpointPath (when present) and skips completed
 	// batches instead of starting from scratch.
 	Resume bool
+	// Store, when set, ingests every streamed page record into the
+	// embedded columnar store as it arrives and seals its segments at
+	// each checkpoint boundary, so the crawl is queryable (cmd/wsquery)
+	// while it runs. The spool keeps the raw lines regardless: Finalize
+	// still merges them, and the store-derived dataset must match that
+	// merge byte for byte (the differential oracle). Open the store with
+	// Resume matching this config's Resume; the caller owns Close.
+	Store *colstore.Store
 	// Fault, when enabled, degrades every accepted worker connection
 	// with the given faultnet profile (fresh schedule per conn, keyed
 	// on FaultSeed).
@@ -269,7 +278,14 @@ func (c *Coordinator) Finalize(meta analysis.DatasetMeta) (*analysis.Dataset, an
 	if err := c.writeCheckpoint(); err != nil {
 		return nil, analysis.MergeStats{}, err
 	}
-	return analysis.MergeShards(meta, c.spool.Paths())
+	// Every AppendRaw flushed before its ack, so the current shard sizes
+	// are fully durable extents: merge with them as the floor so a torn
+	// tail inside acknowledged data fails hard instead of being skipped.
+	sizes, err := c.spool.ShardSizes()
+	if err != nil {
+		return nil, analysis.MergeStats{}, err
+	}
+	return analysis.MergeShardsOpts(meta, c.spool.Paths(), analysis.MergeOptions{MinShardBytes: sizes})
 }
 
 // Close stops the coordinator: the listener closes, every worker
@@ -473,6 +489,14 @@ func (c *Coordinator) session(nc net.Conn) {
 				c.logf("fabric: spool append: %v", err)
 				return
 			}
+			if c.cfg.Store != nil {
+				// Re-crawled duplicates fold to nothing here exactly as
+				// they dedup in the merge, keeping both sides identical.
+				if _, err := c.cfg.Store.IngestRaw(m.Line); err != nil {
+					c.logf("fabric: store ingest: %v", err)
+					return
+				}
+			}
 			obs.FabricPagesStreamed.Inc()
 		case *wire.Complete:
 			// TCP ordering means every page frame of this batch was
@@ -608,6 +632,16 @@ func (c *Coordinator) writeCheckpoint() error {
 		}
 	}
 	c.mu.Unlock()
+	// Seal the store before the checkpoint publishes: every batch the
+	// checkpoint records as done streamed its pages (and was ingested)
+	// before the Complete frame that triggered this write, so sealing
+	// here keeps the invariant that checkpoint-done batches are covered
+	// by sealed segments — resume replays them instead of losing them.
+	if c.cfg.Store != nil {
+		if err := c.cfg.Store.Seal(); err != nil {
+			return err
+		}
+	}
 	// Record the durable spool extent alongside the progress it vouches
 	// for; resume refuses a spool smaller than this.
 	if sizes, err := c.spool.ShardSizes(); err == nil {

@@ -30,21 +30,23 @@ var e2eFlags = []string{
 	"-publishers", "18", "-pages", "2",
 }
 
-func buildBinaries(t *testing.T) (coordBin, crawlBin string) {
+func buildBinaries(t *testing.T) (coordBin, crawlBin, queryBin string) {
 	t.Helper()
 	bin := t.TempDir()
 	coordBin = filepath.Join(bin, "wscoordd")
 	crawlBin = filepath.Join(bin, "wscrawl")
+	queryBin = filepath.Join(bin, "wsquery")
 	for path, pkg := range map[string]string{
 		coordBin: "repro/cmd/wscoordd",
 		crawlBin: "repro/cmd/wscrawl",
+		queryBin: "repro/cmd/wsquery",
 	} {
 		out, err := exec.Command("go", "build", "-o", path, pkg).CombinedOutput()
 		if err != nil {
 			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
 		}
 	}
-	return coordBin, crawlBin
+	return coordBin, crawlBin, queryBin
 }
 
 // coordProc wraps a running wscoordd with live stderr scanning.
@@ -182,7 +184,7 @@ func TestE2EDistributedCrawl(t *testing.T) {
 	if testing.Short() {
 		t.Skip("e2e: real-process crawl skipped in -short mode")
 	}
-	coordBin, crawlBin := buildBinaries(t)
+	coordBin, crawlBin, queryBin := buildBinaries(t)
 
 	ref := runDistributed(t, coordBin, crawlBin, 1)
 	if len(ref) == 0 {
@@ -268,7 +270,11 @@ func TestE2EDistributedCrawl(t *testing.T) {
 		addr := ln.Addr().String()
 		ln.Close()
 
-		c1 := startCoord(t, coordBin, dir, addr, false)
+		// The coordinator also streams pages into a columnar store: the
+		// kill -9 below can land mid-segment-write, and resume must
+		// recover the store to byte-agreement with the merge.
+		storeDir := filepath.Join(dir, "store")
+		c1 := startCoord(t, coordBin, dir, addr, false, "-store-dir", storeDir)
 		url := c1.url(t)
 		worker := startWorker(t, crawlBin, url, "w0", 1)
 		select {
@@ -286,7 +292,7 @@ func TestE2EDistributedCrawl(t *testing.T) {
 		var c2 *coordProc
 		deadline := time.Now().Add(15 * time.Second)
 		for {
-			c2 = startCoord(t, coordBin, dir, addr, true)
+			c2 = startCoord(t, coordBin, dir, addr, true, "-store-dir", storeDir)
 			select {
 			case err := <-c2.done:
 				if time.Now().After(deadline) {
@@ -318,6 +324,17 @@ func TestE2EDistributedCrawl(t *testing.T) {
 		}
 		if !bytes.Equal(got, ref) {
 			t.Errorf("dataset after coordinator kill+resume differs (%d vs %d bytes)", len(got), len(ref))
+		}
+
+		// The query service's view of the sealed store — a separate
+		// binary, reading only the segment files — must reproduce the
+		// merged dataset byte for byte despite the mid-crawl kill.
+		queried, err := exec.Command(queryBin, "-store-dir", storeDir, "-dataset").Output()
+		if err != nil {
+			t.Fatalf("wsquery: %v\n%s", err, c2.log(t))
+		}
+		if !bytes.Equal(queried, ref) {
+			t.Errorf("wsquery dataset after kill+resume differs from merge (%d vs %d bytes)", len(queried), len(ref))
 		}
 	})
 }

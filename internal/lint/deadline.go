@@ -30,6 +30,7 @@ var deadlinePackages = map[string]bool{
 	"repro/internal/fabric":    true,
 	"repro/internal/loadgen":   true,
 	"repro/internal/browser":   true,
+	"repro/internal/colstore":  true,
 }
 
 func deadlineAnalyzer() *Analyzer {

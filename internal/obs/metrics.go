@@ -115,6 +115,26 @@ const (
 	MWSBytesOut    = "ws.bytes_out"
 	MWSHandshake   = "ws.handshake"
 
+	// Columnar dataset store (internal/colstore; OPERATIONS.md "Query
+	// service" is the reading guide). pages counts records ingested
+	// (post-dedup); duplicates counts records dropped because their
+	// (site, pageURL) was already folded; seals counts segments sealed;
+	// segments gauges sealed segments currently live across all shards;
+	// bytes counts sealed segment bytes written; dir_syncs counts parent
+	// directory fsyncs after atomic renames (the rename-durability
+	// contract — dispatch's WriteAtomic reports here too); queries
+	// counts query-API requests served. seal times segment encode+seal;
+	// query times query-API request handling.
+	MStorePages      = "store.pages"
+	MStoreDuplicates = "store.duplicates"
+	MStoreSeals      = "store.seals"
+	MStoreSegments   = "store.segments"
+	MStoreBytes      = "store.bytes"
+	MStoreDirSyncs   = "store.dir_syncs"
+	MStoreQueries    = "store.queries"
+	MStoreSeal       = "store.seal"
+	MStoreQuery      = "store.query"
+
 	// Per-stage latency histograms, in pipeline order.
 	MStageFetch      = "stage.fetch"
 	MStageParse      = "stage.parse"
@@ -199,6 +219,16 @@ var (
 	WSBytesIn     = Default.Counter(MWSBytesIn)
 	WSBytesOut    = Default.Counter(MWSBytesOut)
 	WSHandshake   = Default.Histogram(MWSHandshake)
+
+	StorePages      = Default.Counter(MStorePages)
+	StoreDuplicates = Default.Counter(MStoreDuplicates)
+	StoreSeals      = Default.Counter(MStoreSeals)
+	StoreSegments   = Default.Gauge(MStoreSegments)
+	StoreBytes      = Default.Counter(MStoreBytes)
+	StoreDirSyncs   = Default.Counter(MStoreDirSyncs)
+	StoreQueries    = Default.Counter(MStoreQueries)
+	StoreSeal       = Default.Histogram(MStoreSeal)
+	StoreQuery      = Default.Histogram(MStoreQuery)
 
 	CrawlVisit  = Default.Histogram(MCrawlVisit)
 	CrawlRecord = Default.Histogram(MCrawlRecord)
